@@ -1,0 +1,38 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench runs one experiment exactly once under pytest-benchmark
+(the experiments are deterministic simulations — repeated rounds would
+measure Python overhead, not the system), prints the reproduced
+table/figure, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the exact output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_report(benchmark, runner, name: str, y_format: str = "{:10.4f}", **params):
+    """Run one experiment under the benchmark fixture and archive its table.
+
+    Args:
+        benchmark: the pytest-benchmark fixture.
+        runner: experiment function returning an ExperimentResult.
+        name: file stem for the archived table.
+        y_format: numeric cell format for the rendered table.
+        **params: forwarded to the runner.
+
+    Returns:
+        The ExperimentResult, so the bench can assert its shape.
+    """
+    result = benchmark.pedantic(
+        lambda: runner(**params), rounds=1, iterations=1
+    )
+    table = result.to_table(y_format)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    return result

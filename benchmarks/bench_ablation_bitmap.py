@@ -1,0 +1,20 @@
+"""Ablation — IDD's root-level bitmap filter on/off.
+
+Isolates the "intelligent" pruning from the communication improvements:
+without the bitmap, every transaction fans out all items at every
+processor's hash-tree root, as in DD.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_bitmap
+
+
+def test_ablation_bitmap(benchmark):
+    result = run_and_report(benchmark, run_ablation_bitmap, "ablation_bitmap")
+    for p in (4, 8, 16):
+        assert result.get("bitmap", p) < result.get("no_bitmap", p)
+    # The filter matters more as the per-processor candidate share shrinks.
+    assert (
+        result.get("no_bitmap", 16) / result.get("bitmap", 16)
+        > result.get("no_bitmap", 4) / result.get("bitmap", 4)
+    )

@@ -1,0 +1,23 @@
+"""Ablation — parallelizing apriori_gen (extension beyond the paper).
+
+Every published formulation regenerates candidates on all processors;
+this bench quantifies what splitting the join buys as P grows.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_candgen
+
+
+def test_ablation_candgen(benchmark):
+    result = run_and_report(
+        benchmark, run_ablation_candgen, "ablation_candgen",
+        y_format="{:10.5f}",
+    )
+    for p in result.x_values:
+        assert result.get("parallel", p) < result.get("redundant", p)
+    # The saving grows with the processor count.
+    first, last = result.x_values[0], result.x_values[-1]
+    assert (
+        result.get("redundant", last) / result.get("parallel", last)
+        > result.get("redundant", first) / result.get("parallel", first)
+    )

@@ -1,0 +1,20 @@
+"""Ablation — hash tree geometry (branching factor x leaf capacity).
+
+Section IV notes "the desired value of S can be obtained by adjusting
+the branching factor"; this bench quantifies the traversal-vs-checking
+trade-off across geometries, with identical mining output.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_hashtree
+
+
+def test_ablation_hashtree(benchmark):
+    result = run_and_report(
+        benchmark, run_ablation_hashtree, "ablation_hashtree",
+        y_format="{:10.3f}",
+    )
+    # Wider hash tables cut leaf-checking work at every leaf capacity...
+    for capacity in (4, 16, 64):
+        series = [result.get(f"checks@S={capacity}", b) for b in (4, 16, 64, 256)]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,18 @@
+"""Ablation — HD's switch threshold m.
+
+Equation 8 predicts an open interval of beneficial G values; sweeping m
+from 1 (IDD) to effectively-infinite (CD) should show an interior
+optimum or at worst a tie with the better extreme.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_hd_threshold
+
+
+def test_ablation_hd_threshold(benchmark):
+    result = run_and_report(
+        benchmark, run_ablation_hd_threshold, "ablation_hd_threshold"
+    )
+    times = {m: result.get("HD", m) for m in result.x_values}
+    interior = min(t for m, t in times.items() if 1 < m < 10**9)
+    assert interior <= max(times[1], times[10**9])

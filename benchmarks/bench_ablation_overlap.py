@@ -1,0 +1,16 @@
+"""Ablation — asynchronous communication/computation overlap.
+
+Section III-D: IDD's pipeline depends on overlap support; on a machine
+without it, the shift cost serializes with the subset computation.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_overlap
+
+
+def test_ablation_overlap(benchmark):
+    result = run_and_report(
+        benchmark, run_ablation_overlap, "ablation_overlap"
+    )
+    for p in (4, 8, 16):
+        assert result.get("async", p) <= result.get("blocking", p)

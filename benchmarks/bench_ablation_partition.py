@@ -1,0 +1,21 @@
+"""Ablation — IDD candidate partitioning strategy.
+
+Compares the paper's bin-packing against the naive contiguous ranges
+Section III-C warns about, and against second-item refinement.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.ablations import run_ablation_partition
+
+
+def test_ablation_partition(benchmark):
+    result = run_and_report(
+        benchmark, run_ablation_partition, "ablation_partition"
+    )
+    # Bin packing beats contiguous ranges at every processor count.
+    for p in (8, 16, 32):
+        assert result.get("bin_pack", p) < result.get("contiguous", p)
+    # The gap is driven by idle time (load imbalance).
+    assert result.extras[("contiguous", 32, "idle")] > result.extras[
+        ("bin_pack", 32, "idle")
+    ]

@@ -1,0 +1,84 @@
+"""Core microbenchmarks (real repeated-round timings) and Table I.
+
+These measure the substrate itself — hash-tree construction, the subset
+operation, apriori_gen, and a full serial mining run — and pin the
+paper's Table I worked example.
+"""
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.core.candidates import generate_candidates
+from repro.core.hashtree import HashTree
+from repro.core.rules import rules_from_result
+from repro.data.corpus import supermarket, t15_i6
+from repro.data.quest import generate
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(t15_i6(800, seed=31, num_items=1000))
+
+
+@pytest.fixture(scope="module")
+def pass2_candidates(db):
+    result = Apriori(0.02, max_k=1).mine(db)
+    return generate_candidates(sorted(result.frequent))
+
+
+def test_table1_supermarket(benchmark):
+    """Table I / Section II worked example, mined end to end."""
+
+    def mine():
+        market = supermarket()
+        result = Apriori(min_support=0.4).mine(market)
+        rules = rules_from_result(result, min_confidence=0.6)
+        return result, rules
+
+    result, rules = benchmark(mine)
+    # sigma(Diaper, Milk) = 3; sigma(Diaper, Milk, Beer) = 2;
+    # {Diaper, Milk} => {Beer} at support 40%, confidence 66%.
+    assert result.frequent[(3, 4)] == 3
+    assert result.frequent[(0, 3, 4)] == 2
+    target = next(
+        r for r in rules if r.antecedent == (3, 4) and r.consequent == (0,)
+    )
+    assert target.support == pytest.approx(0.4)
+    assert target.confidence == pytest.approx(2 / 3)
+
+
+def test_hashtree_build(benchmark, pass2_candidates):
+    def build():
+        tree = HashTree(2)
+        tree.insert_all(pass2_candidates)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(pass2_candidates)
+
+
+def test_hashtree_subset_operation(benchmark, db, pass2_candidates):
+    tree = HashTree(2)
+    tree.insert_all(pass2_candidates)
+    transactions = db.transactions[:100]
+
+    def count():
+        tree.count_database(transactions)
+
+    benchmark(count)
+    assert tree.stats.transactions_processed >= len(transactions)
+
+
+def test_apriori_gen(benchmark, db):
+    result = Apriori(0.02, max_k=2).mine(db)
+    frequent_2 = sorted(result.itemsets_of_size(2))
+
+    candidates = benchmark(generate_candidates, frequent_2)
+    assert all(len(c) == 3 for c in candidates)
+
+
+def test_serial_apriori_full_run(benchmark, db):
+    result = benchmark.pedantic(
+        lambda: Apriori(0.01).mine(db), rounds=1, iterations=1
+    )
+    assert result.frequent

@@ -1,0 +1,32 @@
+"""Figure 10 — scaleup of CD / DD / DD+comm / IDD / HD on the T3E model.
+
+Paper: 50K tx/processor, 0.1% support, P = 4..128, DD capped near 32.
+Reproduced at 150 tx/processor, 0.8% support.  Asserted shape: DD worst
+and diverging; DD+comm between DD and IDD; CD near-flat; IDD rising with
+P and crossing CD at the high end; HD flat and at least matching CD.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure10 import run_figure10
+
+
+def test_figure10_scaleup(benchmark):
+    result = run_and_report(benchmark, run_figure10, "figure10")
+
+    # DD diverges and is the worst algorithm wherever it runs.
+    assert result.get("DD", 32) > result.get("DD", 4)
+    assert result.get("DD", 32) > result.get("CD", 32)
+    assert result.get("DD", 32) > result.get("IDD", 32)
+
+    # The communication fix alone recovers part of the gap.
+    assert result.get("DD", 32) > result.get("DD+comm", 32) > result.get("IDD", 32)
+
+    # CD scales (stays within 2x of its smallest configuration).
+    assert result.get("CD", 128) < 2.0 * result.get("CD", 4)
+
+    # IDD's load imbalance catches up with it at high processor counts.
+    assert result.get("IDD", 128) > result.get("IDD", 4)
+    assert result.get("IDD", 128) > result.get("HD", 128)
+
+    # HD is flat and beats CD, with the margin at 128 processors.
+    assert result.get("HD", 128) < result.get("CD", 128)

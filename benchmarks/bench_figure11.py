@@ -1,0 +1,33 @@
+"""Figure 11 — average distinct leaf-node visits per transaction.
+
+Paper: 50K tx/processor, 0.2% support, P = 1..32.  Asserted shape: IDD's
+visits fall roughly as 1/P (the bitmap divides the probe fan-out); DD's
+fall far more slowly (only the tree shrinks), which is the measured
+form of V(C, L/P) > V(C, L)/P.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure11 import run_figure11
+
+
+def test_figure11_leaf_visits(benchmark):
+    result = run_and_report(
+        benchmark, run_figure11, "figure11", y_format="{:10.2f}"
+    )
+
+    # Both curves decrease in P.
+    for algorithm in ("DD", "IDD"):
+        series = [result.get(algorithm, p) for p in (1, 2, 4, 8, 16, 32)]
+        assert series == sorted(series, reverse=True)
+
+    # IDD drops by roughly the processor count end to end...
+    idd_drop = result.get("IDD", 1) / result.get("IDD", 32)
+    assert idd_drop > 10
+
+    # ...while DD saturates far above that.
+    dd_drop = result.get("DD", 1) / result.get("DD", 32)
+    assert dd_drop < idd_drop / 3
+
+    # At every P > 1 IDD visits strictly fewer leaves than DD.
+    for p in (2, 4, 8, 16, 32):
+        assert result.get("IDD", p) < result.get("DD", p)

@@ -1,0 +1,28 @@
+"""Figure 12 — response time vs candidate count on the SP2 model.
+
+Paper: 16-processor SP2, 100K tx, support 0.1%..0.025%, disk-resident
+data; CD re-scans the database once per hash-tree partition.  Asserted
+shape: CD's penalty over IDD/HD grows with the candidate count, and the
+multi-scan mechanism engages along the sweep.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure12 import run_figure12
+
+
+def test_figure12_memory_pressure(benchmark):
+    result = run_and_report(benchmark, run_figure12, "figure12")
+
+    first, last = result.x_values[0], result.x_values[-1]
+
+    # IDD and HD beat CD once the candidate set outgrows one processor.
+    assert result.get("CD", last) > result.get("IDD", last)
+    assert result.get("CD", last) > result.get("HD", last)
+
+    # The CD penalty widens along the sweep (paper: 8% -> 25%).
+    assert result.ratio("CD", "IDD", last) > result.ratio("CD", "IDD", first)
+
+    # The mechanism: CD is forced into multiple database scans.
+    assert result.extras[("CD", first, "max_scans")] == 1
+    assert result.extras[("CD", last, "max_scans")] > 1
+    assert result.extras[("IDD", last, "max_scans")] == 1

@@ -1,0 +1,33 @@
+"""Figure 13 — speedup of CD / IDD / HD (pass-3 time only).
+
+Paper: N = 1.3M, M = 0.7M, P = 4..64 on the T3E; HD on 8x2 / 8x4 / 8x8
+grids.  Asserted shape: HD's speedup dominates and keeps growing; CD
+saturates early (tree build + reduction); IDD flattens at high P (load
+imbalance).
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure13 import run_figure13
+
+
+def test_figure13_speedup(benchmark):
+    result = run_and_report(
+        benchmark, run_figure13, "figure13", y_format="{:10.2f}"
+    )
+
+    # HD's speedup grows monotonically across the sweep.
+    hd = [result.get("HD", p) for p in (4, 8, 16, 32, 64)]
+    assert hd == sorted(hd)
+
+    # HD wins at scale and the margin grows.
+    assert result.get("HD", 64) > result.get("CD", 64)
+    assert result.get("HD", 64) > result.get("IDD", 64)
+    assert result.get("HD", 64) - result.get("CD", 64) > (
+        result.get("HD", 4) - result.get("CD", 4)
+    )
+
+    # CD saturates: going 32 -> 64 processors buys little.
+    assert result.get("CD", 64) < result.get("CD", 32) * 1.3
+
+    # IDD flattens relative to HD at high processor counts.
+    assert result.get("IDD", 64) < result.get("HD", 64)

@@ -1,0 +1,33 @@
+"""Figure 14 — runtime vs transaction count (pass-3 time only).
+
+Paper: P = 64, M = 0.7M, N = 1.3M..26.1M on the T3E.  Asserted shape:
+CD and HD grow near-linearly with N (HD below CD); IDD sits above both
+with a widening absolute gap driven by load imbalance.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure14 import run_figure14
+
+
+def test_figure14_transactions_sweep(benchmark):
+    result = run_and_report(benchmark, run_figure14, "figure14")
+
+    xs = result.x_values
+    first, last = xs[0], xs[-1]
+
+    # Everything grows with N.
+    for algorithm in ("CD", "IDD", "HD"):
+        series = [result.get(algorithm, n) for n in xs]
+        assert series == sorted(series)
+
+    # HD scales like CD but stays below it.
+    for n in xs:
+        assert result.get("HD", n) < result.get("CD", n)
+
+    # IDD is the worst of the three at scale and its absolute gap to HD
+    # widens with N.
+    assert result.get("IDD", last) > result.get("CD", last)
+    assert (
+        result.get("IDD", last) - result.get("HD", last)
+        > result.get("IDD", first) - result.get("HD", first)
+    )

@@ -1,0 +1,45 @@
+"""Figure 15 — runtime vs candidate count (pass-3 time only).
+
+Paper: P = 64, N = 1.3M, M = 0.7M..8.0M on the T3E, memory holding
+exactly the smallest M.  Asserted shape: CD grows ~O(M) (multi-scan
+beyond memory); IDD starts above CD and overtakes it as M grows; HD
+tracks the winner everywhere and collapses onto IDD once its grid
+reaches G = P.
+"""
+
+import pytest
+
+from benchmarks._util import run_and_report
+from repro.experiments.figure15 import run_figure15
+
+
+def test_figure15_candidates_sweep(benchmark):
+    result = run_and_report(benchmark, run_figure15, "figure15")
+
+    xs = result.x_values
+    first, last = xs[0], xs[-1]
+
+    # CD's cost grows steeply with M while IDD's grows ~M/P.
+    assert result.get("CD", last) > 10 * result.get("CD", first)
+    assert result.ratio("CD", "IDD", last) > result.ratio("CD", "IDD", first)
+
+    # The crossover: CD wins the smallest M, IDD wins the largest.
+    assert result.get("IDD", first) > result.get("CD", first)
+    assert result.get("IDD", last) < result.get("CD", last)
+
+    # CD partitions its tree beyond the memory capacity.
+    assert result.extras[("CD", first, "scans")] == 1
+    assert result.extras[("CD", last, "scans")] > 10
+
+    # HD walks its grid toward IDD and matches it exactly at G = P.
+    rows = [result.extras[("HD", x, "grid_rows")] for x in xs]
+    assert rows == sorted(rows)
+    assert rows[-1] == 64
+    assert result.get("HD", last) == pytest.approx(
+        result.get("IDD", last), rel=1e-9
+    )
+
+    # HD never loses badly to the better of CD and IDD.
+    for x in xs:
+        best = min(result.get("CD", x), result.get("IDD", x))
+        assert result.get("HD", x) <= best * 1.2

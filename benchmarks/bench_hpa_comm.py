@@ -1,0 +1,25 @@
+"""Section III-E — HPA's communication volume vs IDD's.
+
+The paper argues HPA's per-transaction O((I choose k)) potential-
+candidate routing dwarfs IDD's O(I) transaction shipping for k > 2.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.hpa_comm import run_hpa_comm
+
+
+def test_hpa_communication_volume(benchmark):
+    result = run_and_report(
+        benchmark, run_hpa_comm, "hpa_comm", y_format="{:10.3f}"
+    )
+
+    # IDD's volume is the same at every pass.
+    idd = {result.get("IDD", k) for k in result.x_values}
+    assert len(idd) == 1
+
+    # HPA's volume grows combinatorially in k.
+    hpa = [result.get("HPA", k) for k in result.x_values]
+    assert all(b > 2 * a for a, b in zip(hpa, hpa[1:]))
+
+    # By pass 3 HPA is already far more expensive than IDD.
+    assert result.get("HPA", 3) > 10 * result.get("IDD", 3)

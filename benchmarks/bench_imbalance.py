@@ -1,0 +1,30 @@
+"""Section III-C — IDD's candidate-count vs computation-time imbalance.
+
+Paper: "1.3% load imbalance in the number of candidate sets ...
+translated into 5.4% load imbalance in the actual computation time"
+(P=4), and 2.3% -> 9.4% at P=8.  Asserted shape: both imbalances grow
+with P and the time imbalance exceeds the candidate imbalance —
+candidate counts are a good but imperfect work proxy.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.imbalance import run_imbalance
+
+
+def test_imbalance_correlation(benchmark):
+    result = run_and_report(
+        benchmark, run_imbalance, "imbalance", y_format="{:10.4%}"
+    )
+
+    processors = result.x_values
+    # Time imbalance dominates candidate imbalance at every P.
+    for p in processors:
+        assert result.get("compute_time", p) >= result.get("candidates", p)
+
+    # Both imbalances worsen toward the largest configuration.
+    assert result.get("candidates", processors[-1]) > result.get(
+        "candidates", processors[0]
+    )
+    assert result.get("compute_time", processors[-1]) > result.get(
+        "compute_time", processors[0]
+    )

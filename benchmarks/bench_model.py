@@ -1,0 +1,53 @@
+"""Section IV — the V(i, j) model (Equations 1-2) against simulation.
+
+Validates the paper's expected-distinct-leaf-visit formula by Monte
+Carlo and regenerates the asymptotic claims used throughout the
+analysis: V -> i for large trees, and DD's checking redundancy
+V(C, L/P) / (V(C, L)/P) approaching P.
+"""
+
+from benchmarks._util import RESULTS_DIR
+from repro.analysis.leafvisits import (
+    dd_checking_ratio,
+    expected_leaf_visits,
+    monte_carlo_leaf_visits,
+)
+
+
+def test_leaf_visit_model(benchmark):
+    probes = 455  # C(15, 3), the paper's pass-3 fan-out
+    leaves = [64, 256, 1024, 4096, 16384]
+
+    def evaluate():
+        closed = [expected_leaf_visits(probes, j) for j in leaves]
+        simulated = [
+            monte_carlo_leaf_visits(probes, j, trials=800, seed=j)
+            for j in leaves
+        ]
+        return closed, simulated
+
+    closed, simulated = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    lines = ["V(455, j): closed form vs Monte Carlo"]
+    lines.append(f"{'leaves':>8s} | {'closed':>10s} | {'simulated':>10s}")
+    for j, c, s in zip(leaves, closed, simulated):
+        lines.append(f"{j:>8d} | {c:10.2f} | {s:10.2f}")
+        assert abs(c - s) / c < 0.05
+
+    # Equation 2: the large-tree limit is the probe count itself.
+    assert expected_leaf_visits(probes, 10**12) / probes > 0.999
+
+    # DD redundancy grows toward P as the tree grows (Section IV).
+    ratios = [dd_checking_ratio(probes, 10**7, p) for p in (2, 4, 8, 16)]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 15.5
+    lines.append(
+        "DD checking redundancy at L=1e7: "
+        + ", ".join(f"P={p}: {r:.2f}" for p, r in zip((2, 4, 8, 16), ratios))
+    )
+
+    table = "\n".join(lines)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "model.txt").write_text(table + "\n", encoding="utf-8")

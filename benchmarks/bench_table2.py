@@ -1,0 +1,35 @@
+"""Table II — HD's dynamic processor-grid schedule.
+
+Paper: P = 64, m = 50K: configurations 8x8, 64x1, 4x16, 2x32, 2x32,
+1x64 across passes 2..7, with every later pass at 1x64.  Asserted
+shape: G tracks ceil(M/m) rounded to a divisor of P, peaks with the
+candidate count, and collapses to G = 1 (pure CD) for the small late
+passes.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.table2 import run_table2
+from repro.parallel.hybrid import choose_grid
+
+
+def test_table2_grid_schedule(benchmark):
+    result = run_and_report(
+        benchmark, run_table2, "table2", y_format="{:10.0f}"
+    )
+
+    ks = result.x_values
+    # Every configuration tiles the 64-processor machine.
+    for k in ks:
+        assert result.get("G", k) * result.get("P/G", k) == 64
+
+    # The configuration is exactly the paper's selection rule.
+    for k in ks:
+        expected = choose_grid(int(result.get("candidates", k)), 2000, 64)
+        assert result.get("G", k) == expected
+
+    # G peaks at the candidate peak...
+    peak_pass = max(ks, key=lambda k: result.get("candidates", k))
+    assert result.get("G", peak_pass) == max(result.get("G", k) for k in ks)
+
+    # ...and the tail of the run degenerates to CD.
+    assert result.get("G", ks[-1]) == 1

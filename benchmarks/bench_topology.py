@@ -1,0 +1,23 @@
+"""Section III-B — DD's interconnect sensitivity.
+
+Runs DD with the machine contention set from each topology's bisection
+bound; IDD's neighbor-only pipeline is the topology-insensitive
+baseline.  The paper's argument: DD's page scattering costs
+"significantly more than O(N)" on sparse networks.
+"""
+
+from benchmarks._util import run_and_report
+from repro.experiments.topology import run_topology
+
+
+def test_topology_sensitivity(benchmark):
+    result = run_and_report(benchmark, run_topology, "topology")
+
+    dd = [result.get("DD", rank) for rank in result.x_values]
+    # DD improves monotonically as the network gets denser...
+    assert dd == sorted(dd, reverse=True)
+    # ...the ring is measurably worse than fully-connected...
+    assert dd[0] > dd[-1] * 1.2
+    # ...and IDD beats DD regardless of topology.
+    for rank in result.x_values:
+        assert result.get("IDD", rank) < result.get("DD", rank)

@@ -1,0 +1,29 @@
+"""Section IV — cost-model vs simulation cross-validation.
+
+Runs one pass of CD / DD / IDD / HD on the simulated machine and
+evaluates Equations 4-7 on the same workload parameters; the model must
+rank the algorithms as measured (the use the paper puts it to).
+"""
+
+from benchmarks._util import RESULTS_DIR
+from repro.analysis.validation import validate_pass_model
+from repro.data.corpus import t15_i6
+from repro.data.quest import generate
+
+
+def test_model_ranks_algorithms(benchmark):
+    db = generate(t15_i6(1600, seed=13, num_items=1000))
+
+    report = benchmark.pedantic(
+        lambda: validate_pass_model(db, 0.008, k=3, num_processors=16),
+        rounds=1,
+        iterations=1,
+    )
+    table = report.to_table()
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "validation.txt").write_text(table + "\n", encoding="utf-8")
+
+    assert report.agreement_pairs() == 1.0
+    assert report.measured_order()[-1] == "DD"

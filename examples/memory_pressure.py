@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Memory pressure: CD's multiple database scans vs HD's aggregate memory.
+
+The paper's Figures 12 and 15 story: when the candidate hash tree
+outgrows one processor's memory, CD must partition the tree and re-scan
+the (disk-resident) database once per partition, while IDD and HD
+spread the candidates across the aggregate cluster memory and keep a
+single scan.  This example runs the same low-support workload on a
+simulated IBM SP2 with a bounded per-processor tree capacity and
+charged disk I/O, and shows where CD's time goes.
+
+Run:  python examples/memory_pressure.py
+"""
+
+from repro.cluster.machine import IBM_SP2
+from repro.data import generate, t15_i6
+from repro.parallel import mine_parallel
+
+NUM_PROCESSORS = 8
+MIN_SUPPORT = 0.006
+MEMORY_CANDIDATES = 20_000  # hash-tree capacity per processor
+
+
+def main() -> None:
+    db = generate(t15_i6(1500, seed=12, num_items=1000))
+    machine = IBM_SP2.with_memory(MEMORY_CANDIDATES)
+    print(
+        f"Workload: {len(db)} transactions at {MIN_SUPPORT:.1%} support on "
+        f"a simulated {machine.name} with {NUM_PROCESSORS} processors,\n"
+        f"per-processor hash-tree capacity {MEMORY_CANDIDATES} candidates, "
+        "disk-resident data (I/O charged).\n"
+    )
+
+    runs = {}
+    for algorithm in ("CD", "IDD", "HD"):
+        kwargs = {"switch_threshold": 5000} if algorithm == "HD" else {}
+        runs[algorithm] = mine_parallel(
+            algorithm,
+            db,
+            MIN_SUPPORT,
+            NUM_PROCESSORS,
+            machine=machine,
+            charge_io=True,
+            **kwargs,
+        )
+
+    reference = runs["CD"].frequent
+    assert all(r.frequent == reference for r in runs.values())
+
+    print("Database scans forced by the memory limit (per pass):")
+    print(f"{'pass':>5s} {'candidates':>11s} "
+          + " ".join(f"{a + ' scans':>10s}" for a in runs))
+    for index, cd_pass in enumerate(runs["CD"].passes):
+        if cd_pass.k < 2:
+            continue
+        scans = [str(r.passes[index].tree_partitions) for r in runs.values()]
+        print(
+            f"{cd_pass.k:>5d} {cd_pass.num_candidates:>11d} "
+            + " ".join(f"{s:>10s}" for s in scans)
+        )
+
+    print("\nResponse time and where it goes (simulated seconds):")
+    categories = ("subset", "tree_build", "io", "reduce", "comm", "idle")
+    header = (
+        f"{'algorithm':>10s} | {'total':>8s} | "
+        + " | ".join(f"{c:>9s}" for c in categories)
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm, run in runs.items():
+        cells = [f"{run.breakdown.get(c, 0.0):9.4f}" for c in categories]
+        print(
+            f"{algorithm:>10s} | {run.total_time:8.4f} | "
+            + " | ".join(cells)
+        )
+
+    cd, hd = runs["CD"].total_time, runs["HD"].total_time
+    print(
+        f"\nCD pays {cd / hd:.1f}x HD's response time here: every extra "
+        "tree partition costs CD a full rebuild, an extra database scan "
+        "(I/O), and another count reduction, while HD's grid places "
+        "each candidate on exactly one processor group."
+    )
+
+
+if __name__ == "__main__":
+    main()

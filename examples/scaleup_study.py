@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scaleup study: all four parallel formulations on the simulated T3E.
+
+A miniature of the paper's Figure 10 experiment: fixed transactions per
+processor, growing processor counts, all of CD / DD / DD+comm / IDD /
+HD.  Prints the response times, the runtime decomposition of each
+algorithm at the largest configuration, and verifies that every
+formulation produced exactly the serial Apriori result.
+
+Run:  python examples/scaleup_study.py
+"""
+
+from repro.core.apriori import Apriori
+from repro.data import generate, t15_i6
+from repro.parallel import mine_parallel
+
+TX_PER_PROCESSOR = 100
+MIN_SUPPORT = 0.01
+PROCESSOR_COUNTS = (4, 8, 16)
+ALGORITHMS = ("CD", "DD", "DD+comm", "IDD", "HD")
+
+
+def main() -> None:
+    print(
+        f"Scaleup on the simulated Cray T3E: {TX_PER_PROCESSOR} "
+        f"transactions/processor, {MIN_SUPPORT:.1%} support\n"
+    )
+    header = f"{'P':>4s} | " + " | ".join(f"{a:>10s}" for a in ALGORITHMS)
+    print(header)
+    print("-" * len(header))
+
+    last_runs = {}
+    for num_processors in PROCESSOR_COUNTS:
+        db = generate(
+            t15_i6(TX_PER_PROCESSOR * num_processors, seed=7, num_items=1000)
+        )
+        serial = Apriori(MIN_SUPPORT).mine(db)
+        cells = []
+        for algorithm in ALGORITHMS:
+            kwargs = {"switch_threshold": 10_000} if algorithm == "HD" else {}
+            run = mine_parallel(
+                algorithm, db, MIN_SUPPORT, num_processors, **kwargs
+            )
+            assert run.frequent == serial.frequent, algorithm
+            cells.append(f"{run.total_time:10.4f}")
+            last_runs[algorithm] = run
+        print(f"{num_processors:>4d} | " + " | ".join(cells))
+
+    print(
+        f"\nAll runs matched serial Apriori exactly "
+        f"({len(serial.frequent)} frequent item-sets).\n"
+    )
+
+    print(f"Runtime decomposition at P={PROCESSOR_COUNTS[-1]} "
+          "(simulated seconds, mean per processor):")
+    categories = ("subset", "tree_build", "candgen", "comm", "reduce", "idle")
+    header = f"{'algorithm':>10s} | " + " | ".join(
+        f"{c:>10s}" for c in categories
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm, run in last_runs.items():
+        cells = [f"{run.breakdown.get(c, 0.0):10.4f}" for c in categories]
+        print(f"{algorithm:>10s} | " + " | ".join(cells))
+
+    print(
+        "\nReading the table: DD pays for contended communication and "
+        "redundant traversals; IDD trades them for some idle time (load "
+        "imbalance); HD keeps every overhead small by sizing its "
+        "processor grid to the candidate count."
+    )
+
+
+if __name__ == "__main__":
+    main()

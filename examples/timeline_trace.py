@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Visualize where each algorithm's time goes with a timeline trace.
+
+Attaches a :class:`repro.cluster.TimelineTrace` to one run of each
+formulation and renders per-processor Gantt charts.  The structural
+differences the paper argues in prose become visible directly:
+
+* CD — wide tree-build bands on every processor (the un-parallelized
+  step) and a reduction tail;
+* DD — communication stripes between every processing round, plus
+  blocking waits;
+* IDD — dense subset work with idle gaps on under-loaded processors
+  (the bin-packing residual);
+* HD — per-pass shape switching as the grid changes.
+
+Run:  python examples/timeline_trace.py
+"""
+
+from repro.cluster import TimelineTrace
+from repro.data import generate, t15_i6
+from repro.parallel import make_miner
+
+NUM_PROCESSORS = 4
+MIN_SUPPORT = 0.02
+
+
+def main() -> None:
+    db = generate(t15_i6(400, seed=19, num_items=1000))
+    print(
+        f"Workload: {len(db)} transactions, {MIN_SUPPORT:.0%} support, "
+        f"P={NUM_PROCESSORS} (simulated Cray T3E)\n"
+    )
+    reference = None
+    for algorithm in ("CD", "DD", "IDD", "HD"):
+        trace = TimelineTrace()
+        kwargs = {"switch_threshold": 5000} if algorithm == "HD" else {}
+        miner = make_miner(
+            algorithm, MIN_SUPPORT, NUM_PROCESSORS, trace=trace, **kwargs
+        )
+        result = miner.mine(db)
+        if reference is None:
+            reference = result.frequent
+        assert result.frequent == reference
+
+        print(f"=== {algorithm} "
+              f"(response time {result.total_time:.4f}s simulated) ===")
+        print(trace.render_gantt(NUM_PROCESSORS, width=68))
+        busy = ", ".join(
+            f"P{pid}: {trace.busy_fraction(pid):.0%}"
+            for pid in range(NUM_PROCESSORS)
+        )
+        print(f"busy fractions: {busy}\n")
+
+
+if __name__ == "__main__":
+    main()

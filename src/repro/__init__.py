@@ -1,0 +1,53 @@
+"""repro — reproduction of "Scalable Parallel Data Mining for Association Rules".
+
+Han, Karypis & Kumar (SIGMOD 1997 / IEEE TKDE 1999).  The package
+provides serial Apriori with the candidate hash tree, the CD / DD / IDD /
+HD parallel formulations executed on a simulated message-passing
+machine, the IBM Quest-style synthetic data generator, the Section IV
+analytical model, and an experiment harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Apriori, generate_rules
+    from repro.data import supermarket
+
+    db = supermarket()
+    result = Apriori(min_support=0.4).mine(db)
+    rules = generate_rules(result.frequent, len(db), min_confidence=0.6)
+
+Parallel mining on the simulated Cray T3E::
+
+    from repro.parallel import mine_parallel
+
+    hd = mine_parallel("HD", db, min_support=0.4, num_processors=8,
+                       switch_threshold=100)
+"""
+
+from .core import (
+    Apriori,
+    AprioriResult,
+    AssociationRule,
+    HashTree,
+    TransactionDB,
+    generate_rules,
+    rules_from_result,
+)
+from .parallel import MiningResult, mine_parallel
+from .reporting import format_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Apriori",
+    "AprioriResult",
+    "AssociationRule",
+    "HashTree",
+    "MiningResult",
+    "TransactionDB",
+    "__version__",
+    "format_report",
+    "generate_rules",
+    "mine_parallel",
+    "rules_from_result",
+]

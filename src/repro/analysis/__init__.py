@@ -1,0 +1,31 @@
+"""Section IV performance model and scalability metrics."""
+
+from .leafvisits import (
+    dd_checking_ratio,
+    expected_leaf_visits,
+    expected_leaf_visits_limit,
+    monte_carlo_leaf_visits,
+)
+from .model import PassModel, hd_beneficial_range
+from .validation import ValidationReport, validate_pass_model
+from .scalability import (
+    efficiency,
+    scaleup_degradation,
+    speedup,
+    speedup_series,
+)
+
+__all__ = [
+    "PassModel",
+    "ValidationReport",
+    "dd_checking_ratio",
+    "efficiency",
+    "expected_leaf_visits",
+    "expected_leaf_visits_limit",
+    "hd_beneficial_range",
+    "monte_carlo_leaf_visits",
+    "scaleup_degradation",
+    "speedup",
+    "speedup_series",
+    "validate_pass_model",
+]

@@ -1,0 +1,97 @@
+"""Expected distinct-leaf-visit model (Section IV, Equations 1-2).
+
+During the subset operation, a transaction with ``i`` potential
+candidates probes the hash tree ``i`` times; distinct probes can land in
+the same leaf, and the leaf-check cost is paid only once per distinct
+leaf.  Under the paper's uniform-probe assumption, the expected number of
+distinct leaves visited in a tree with ``j`` leaves is
+
+    V(i, j) = (j^i - (j-1)^i) / j^(i-1)
+            = j * (1 - (1 - 1/j)^i)
+
+with ``V(i, j) -> i`` as ``j -> infinity`` (Equation 2): when the tree is
+much larger than the probe count, every probe hits a fresh leaf.
+
+This is the quantity that explains DD's redundant work: a processor's
+tree shrinks to L/P leaves, but V(C, L/P) shrinks far slower than
+V(C, L)/P, so checking work is *not* reduced by a factor of P.  IDD also
+divides the probe count C by P, so V(C/P, L/P) ~ V(C, L)/P.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+__all__ = [
+    "expected_leaf_visits",
+    "expected_leaf_visits_limit",
+    "monte_carlo_leaf_visits",
+    "dd_checking_ratio",
+]
+
+
+def expected_leaf_visits(num_probes: float, num_leaves: float) -> float:
+    """Evaluate V(i, j): expected distinct leaves hit by ``i`` uniform probes.
+
+    Accepts fractional arguments (the model plugs in averages like
+    C/P).  Probe counts below zero are invalid; zero probes visit zero
+    leaves; fewer than one leaf is clamped to one (a tree always has a
+    root leaf).
+    """
+    if num_probes < 0:
+        raise ValueError(f"num_probes must be non-negative, got {num_probes}")
+    if num_probes == 0:
+        return 0.0
+    j = max(1.0, float(num_leaves))
+    if j == 1.0:
+        return 1.0
+    # j * (1 - (1 - 1/j)^i) via expm1/log1p, numerically stable for
+    # very large j (where the naive power underflows to 1.0).
+    return j * -math.expm1(float(num_probes) * math.log1p(-1.0 / j))
+
+
+def expected_leaf_visits_limit(num_probes: float) -> float:
+    """The j -> infinity limit of V(i, j), which is simply i (Equation 2)."""
+    return float(num_probes)
+
+
+def monte_carlo_leaf_visits(
+    num_probes: int,
+    num_leaves: int,
+    trials: int = 2000,
+    seed: Optional[int] = 0,
+) -> float:
+    """Estimate V(i, j) by simulation (validates the closed form in tests)."""
+    if num_probes < 0 or num_leaves < 1:
+        raise ValueError("need num_probes >= 0 and num_leaves >= 1")
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(trials):
+        seen = set()
+        for _ in range(num_probes):
+            seen.add(rng.randrange(num_leaves))
+        total += len(seen)
+    return total / trials
+
+
+def dd_checking_ratio(num_probes: float, num_leaves: float, num_processors: int) -> float:
+    """How far DD falls short of perfect checking-work reduction.
+
+    Returns ``V(C, L/P) / (V(C, L) / P)`` — the factor by which DD's
+    aggregate leaf-checking work exceeds the serial algorithm's (1.0
+    would mean no redundancy; Section IV shows it approaches P when L is
+    large).
+    """
+    if num_processors < 1:
+        raise ValueError("num_processors must be >= 1")
+    per_processor = expected_leaf_visits(
+        num_probes, num_leaves / num_processors
+    )
+    ideal = expected_leaf_visits(num_probes, num_leaves) / num_processors
+    if ideal == 0:
+        return 1.0
+    return per_processor / ideal

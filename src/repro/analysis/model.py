@@ -1,0 +1,212 @@
+"""Analytical runtime model (Section IV, Equations 3-7).
+
+These closed-form predictions mirror the paper's per-pass cost analysis
+and are checked against the simulator in tests: the *model* and the
+*measured simulation* must agree on orderings and crossover directions,
+which is precisely the claim Section IV makes about the real machine.
+
+Symbols follow Table III: N transactions, P processors, M candidates,
+G candidate partitions (HD), I average transaction length, C = (I choose
+k) potential candidates per transaction, S candidates per leaf, and
+L = M/S leaves in the serial tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster.machine import MachineSpec
+from .leafvisits import expected_leaf_visits
+
+__all__ = ["PassModel", "hd_beneficial_range"]
+
+
+@dataclass(frozen=True)
+class PassModel:
+    """One Apriori pass, parameterized as in Table III.
+
+    Attributes:
+        num_transactions: N.
+        num_candidates: M.
+        avg_transaction_length: I.
+        k: pass number (candidate size).
+        leaf_size: S, average candidates per leaf.
+        avg_transaction_bytes: wire size of one transaction (for the
+            O(N) data-movement terms).
+    """
+
+    num_transactions: float
+    num_candidates: float
+    avg_transaction_length: float
+    k: int
+    leaf_size: float = 16.0
+    avg_transaction_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if min(
+            self.num_transactions,
+            self.num_candidates,
+            self.avg_transaction_length,
+            self.leaf_size,
+        ) <= 0:
+            raise ValueError("all model parameters must be positive")
+
+    @property
+    def potential_candidates(self) -> float:
+        """C = (I choose k), potential candidates per transaction."""
+        length = self.avg_transaction_length
+        if length < self.k:
+            return 0.0
+        return float(math.comb(round(length), self.k))
+
+    @property
+    def num_leaves(self) -> float:
+        """L = M / S, leaves of the full (serial/CD) hash tree."""
+        return max(1.0, self.num_candidates / self.leaf_size)
+
+    # ------------------------------------------------------------------
+    # Equation 3: serial Apriori
+    # ------------------------------------------------------------------
+
+    def serial_time(self, spec: MachineSpec) -> float:
+        """T_serial = N*C*t_travers + N*V(C,L)*t_check + O(M)."""
+        c = self.potential_candidates
+        visits = expected_leaf_visits(c, self.num_leaves)
+        return (
+            self.num_transactions * c * spec.t_travers
+            + self.num_transactions * visits * self.leaf_size * spec.t_check
+            + self.num_candidates * spec.t_insert
+        )
+
+    # ------------------------------------------------------------------
+    # Equation 4: Count Distribution
+    # ------------------------------------------------------------------
+
+    def cd_time(self, spec: MachineSpec, num_processors: int) -> float:
+        """T_CD: subset work over N/P, full tree build, global reduction."""
+        _check_p(num_processors)
+        c = self.potential_candidates
+        visits = expected_leaf_visits(c, self.num_leaves)
+        per_processor_transactions = self.num_transactions / num_processors
+        subset = per_processor_transactions * (
+            c * spec.t_travers + visits * self.leaf_size * spec.t_check
+        )
+        build = self.num_candidates * spec.t_insert
+        reduction = _reduction_time(self.num_candidates, num_processors, spec)
+        return subset + build + reduction
+
+    # ------------------------------------------------------------------
+    # Equation 5: Data Distribution
+    # ------------------------------------------------------------------
+
+    def dd_time(self, spec: MachineSpec, num_processors: int) -> float:
+        """T_DD: all N transactions against an M/P tree, plus O(N) movement."""
+        _check_p(num_processors)
+        c = self.potential_candidates
+        local_leaves = self.num_leaves / num_processors
+        visits = expected_leaf_visits(c, local_leaves)
+        subset = self.num_transactions * (
+            c * spec.t_travers + visits * self.leaf_size * spec.t_check
+        )
+        build = (self.num_candidates / num_processors) * spec.t_insert
+        movement = self._data_movement_time(spec, num_processors)
+        return subset + build + movement
+
+    # ------------------------------------------------------------------
+    # Equation 6: Intelligent Data Distribution
+    # ------------------------------------------------------------------
+
+    def idd_time(self, spec: MachineSpec, num_processors: int) -> float:
+        """T_IDD: C/P traversals per transaction against an M/P tree."""
+        _check_p(num_processors)
+        c = self.potential_candidates / num_processors
+        local_leaves = self.num_leaves / num_processors
+        visits = expected_leaf_visits(c, local_leaves)
+        subset = self.num_transactions * (
+            c * spec.t_travers + visits * self.leaf_size * spec.t_check
+        )
+        build = (self.num_candidates / num_processors) * spec.t_insert
+        movement = self._data_movement_time(spec, num_processors)
+        return subset + build + movement
+
+    # ------------------------------------------------------------------
+    # Equation 7: Hybrid Distribution
+    # ------------------------------------------------------------------
+
+    def hd_time(
+        self, spec: MachineSpec, num_processors: int, num_groups: int
+    ) -> float:
+        """T_HD on a (num_groups) x (P / num_groups) grid."""
+        _check_p(num_processors)
+        if num_groups < 1 or num_processors % num_groups != 0:
+            raise ValueError(
+                f"num_groups={num_groups} must divide P={num_processors}"
+            )
+        c = self.potential_candidates / num_groups
+        local_leaves = self.num_leaves / num_groups
+        visits = expected_leaf_visits(c, local_leaves)
+        transactions_seen = (
+            num_groups * self.num_transactions / num_processors
+        )
+        subset = transactions_seen * (
+            c * spec.t_travers + visits * self.leaf_size * spec.t_check
+        )
+        build = (self.num_candidates / num_groups) * spec.t_insert
+        movement = (
+            transactions_seen * self.avg_transaction_bytes * spec.t_byte
+        )
+        reduction = _reduction_time(
+            self.num_candidates / num_groups,
+            num_processors // num_groups,
+            spec,
+        )
+        return subset + build + movement + reduction
+
+    # ------------------------------------------------------------------
+
+    def _data_movement_time(
+        self, spec: MachineSpec, num_processors: int
+    ) -> float:
+        """O(N) ring-shift cost: every processor sees ~N transactions."""
+        if num_processors == 1:
+            return 0.0
+        return self.num_transactions * self.avg_transaction_bytes * spec.t_byte
+
+
+def _reduction_time(
+    num_candidates: float, num_processors: int, spec: MachineSpec
+) -> float:
+    """Recursive-doubling all-reduce of a count vector, comm + combine."""
+    if num_processors <= 1:
+        return 0.0
+    steps = math.ceil(math.log2(num_processors))
+    per_step = (
+        spec.t_startup
+        + num_candidates * spec.bytes_per_count * spec.t_byte
+        + num_candidates * spec.t_reduce_op
+    )
+    return steps * per_step
+
+
+def hd_beneficial_range(
+    num_transactions: float, num_candidates: float, num_processors: int
+) -> tuple[float, float]:
+    """Equation 8: the G range in which HD beats CD.
+
+    HD's summarized runtime O(G*N/P) + O(M/G) undercuts CD's
+    O(N/P) + O(M) for 1 < G < O(M*P/N).  Returns the open interval
+    bounds ``(1, M*P/N)``; an upper bound <= 1 means CD cannot be beaten
+    (N dominates M) and HD should set G = 1, degenerating to CD.
+    """
+    _check_p(num_processors)
+    if num_transactions <= 0 or num_candidates <= 0:
+        raise ValueError("N and M must be positive")
+    return 1.0, num_candidates * num_processors / num_transactions
+
+
+def _check_p(num_processors: int) -> None:
+    if num_processors < 1:
+        raise ValueError(f"num_processors must be >= 1, got {num_processors}")

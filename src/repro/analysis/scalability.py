@@ -1,0 +1,61 @@
+"""Scalability metrics (Section IV preliminaries).
+
+The paper adopts the standard definitions from Kumar et al.: speedup
+S = T_serial / T_P, efficiency E = S / P, and calls an algorithm
+*scalable* when efficiency can be held constant while processors and
+problem size grow together.  These helpers turn (P, time) series from
+the experiments into the speedup/efficiency curves of Figure 13 and the
+scaleup readings of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "speedup_series",
+    "scaleup_degradation",
+]
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """S = T_serial / T_P."""
+    if serial_time <= 0 or parallel_time <= 0:
+        raise ValueError("times must be positive")
+    return serial_time / parallel_time
+
+
+def efficiency(
+    serial_time: float, parallel_time: float, num_processors: int
+) -> float:
+    """E = T_serial / (P * T_P)."""
+    if num_processors < 1:
+        raise ValueError(f"num_processors must be >= 1, got {num_processors}")
+    return speedup(serial_time, parallel_time) / num_processors
+
+
+def speedup_series(
+    serial_time: float, timings: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Map (P, T_P) pairs to (P, speedup) pairs (Figure 13's y-axis)."""
+    return [(p, speedup(serial_time, t)) for p, t in timings]
+
+
+def scaleup_degradation(
+    timings: Sequence[Tuple[int, float]]
+) -> Dict[int, float]:
+    """Normalize a scaleup series by its smallest-P reading.
+
+    In a scaleup experiment (fixed work *per processor*, Figure 10) an
+    ideally scalable algorithm holds a flat 1.0; values above 1.0
+    quantify degradation relative to the smallest configuration.
+    """
+    if not timings:
+        raise ValueError("timings must not be empty")
+    ordered = sorted(timings)
+    base_time = ordered[0][1]
+    if base_time <= 0:
+        raise ValueError("baseline time must be positive")
+    return {p: t / base_time for p, t in ordered}

@@ -1,0 +1,156 @@
+"""Model-vs-simulation validation (closing the Section IV loop).
+
+Section IV derives closed-form pass costs for CD, DD, IDD and HD
+(Equations 4-7) from workload parameters; Section V then measures the
+real machine.  This module plays both roles against each other inside
+the reproduction: it runs one pass of every formulation on the
+simulated cluster (measured work) and evaluates the analytical model on
+the same workload parameters, then reports whether the model predicts
+the measured *ordering* of the algorithms — which is precisely the use
+the paper puts the model to (deciding who wins where, e.g. Equation 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..core.transaction import TransactionDB
+from ..parallel.hybrid import choose_grid
+from ..parallel.runner import mine_parallel
+from .model import PassModel
+
+__all__ = ["ValidationReport", "validate_pass_model"]
+
+
+@dataclass
+class ValidationReport:
+    """Measured vs predicted pass times for the four formulations.
+
+    Attributes:
+        k: the validated pass.
+        num_processors: P.
+        timings: algorithm → (measured seconds, predicted seconds).
+        workload: the PassModel parameters used for prediction.
+    """
+
+    k: int
+    num_processors: int
+    timings: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    workload: PassModel | None = None
+
+    def measured_order(self) -> List[str]:
+        """Algorithms fastest-first by measured time."""
+        return sorted(self.timings, key=lambda a: self.timings[a][0])
+
+    def predicted_order(self) -> List[str]:
+        """Algorithms fastest-first by predicted time."""
+        return sorted(self.timings, key=lambda a: self.timings[a][1])
+
+    def orders_agree(self) -> bool:
+        """True when the model ranks the algorithms as measured."""
+        return self.measured_order() == self.predicted_order()
+
+    def agreement_pairs(self) -> float:
+        """Fraction of algorithm pairs ranked consistently (Kendall-style)."""
+        names = list(self.timings)
+        total = 0
+        agree = 0
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                total += 1
+                measured = self.timings[a][0] - self.timings[b][0]
+                predicted = self.timings[a][1] - self.timings[b][1]
+                if measured * predicted > 0:
+                    agree += 1
+        return agree / total if total else 1.0
+
+    def to_table(self) -> str:
+        """Render the report as an aligned text table."""
+        lines = [
+            f"model validation: pass {self.k}, P={self.num_processors}"
+        ]
+        lines.append(
+            f"{'algorithm':>10s} | {'measured':>10s} | {'predicted':>10s}"
+        )
+        lines.append("-" * 38)
+        for algorithm, (measured, predicted) in self.timings.items():
+            lines.append(
+                f"{algorithm:>10s} | {measured:10.4f} | {predicted:10.4f}"
+            )
+        lines.append(
+            f"measured order:  {' < '.join(self.measured_order())}"
+        )
+        lines.append(
+            f"predicted order: {' < '.join(self.predicted_order())}"
+        )
+        lines.append(f"pairwise agreement: {self.agreement_pairs():.0%}")
+        return "\n".join(lines)
+
+
+def validate_pass_model(
+    db: TransactionDB,
+    min_support: float,
+    k: int = 3,
+    num_processors: int = 16,
+    machine: MachineSpec = CRAY_T3E,
+    switch_threshold: int = 2000,
+    leaf_size: float = 16.0,
+) -> ValidationReport:
+    """Run one pass through simulation and model; compare rankings.
+
+    Args:
+        db: workload.
+        min_support: fractional support.
+        k: the pass to validate (the paper validates on pass 3).
+        num_processors: P.
+        machine: cost model shared by both sides.
+        switch_threshold: HD's m.
+        leaf_size: the model's S parameter.
+
+    Returns:
+        A :class:`ValidationReport`; ``orders_agree()`` is the headline.
+    """
+    report = ValidationReport(k=k, num_processors=num_processors)
+
+    runs = {}
+    for algorithm in ("CD", "DD", "IDD", "HD"):
+        kwargs = {"max_k": k}
+        if algorithm == "HD":
+            kwargs["switch_threshold"] = switch_threshold
+        runs[algorithm] = mine_parallel(
+            algorithm, db, min_support, num_processors,
+            machine=machine, **kwargs,
+        )
+
+    reference = runs["CD"]
+    pass_stats = next(p for p in reference.passes if p.k == k)
+    stats = db.stats()
+    workload = PassModel(
+        num_transactions=len(db),
+        num_candidates=pass_stats.num_candidates,
+        avg_transaction_length=stats.avg_length,
+        k=k,
+        leaf_size=leaf_size,
+        avg_transaction_bytes=machine.transaction_bytes(
+            round(stats.avg_length)
+        ),
+    )
+    report.workload = workload
+
+    hd_groups = choose_grid(
+        pass_stats.num_candidates, switch_threshold, num_processors
+    )
+    predictions = {
+        "CD": workload.cd_time(machine, num_processors),
+        "DD": workload.dd_time(machine, num_processors),
+        "IDD": workload.idd_time(machine, num_processors),
+        "HD": workload.hd_time(machine, num_processors, hd_groups),
+    }
+    for algorithm, run in runs.items():
+        report.timings[algorithm] = (
+            run.pass_time(k),
+            predictions[algorithm],
+        )
+    return report

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``mine`` — mine frequent item-sets / rules from a ``.dat`` file
+  (serial by default; ``--algorithm`` selects a parallel formulation on
+  the simulated cluster).
+* ``generate`` — emit a synthetic Quest-style database to a ``.dat``
+  file.
+* ``experiment`` — run one of the paper's table/figure reproductions
+  and print its table.
+
+Examples::
+
+    repro-mine generate --transactions 1000 --out db.dat
+    repro-mine mine db.dat --min-support 0.01 --min-confidence 0.8
+    repro-mine mine db.dat --algorithm HD --processors 16
+    repro-mine experiment table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster.machine import CRAY_T3E, IBM_SP2
+from .core.apriori import Apriori
+from .core.rules import generate_rules
+from .data.corpus import t15_i6
+from .data.io import read_dat, write_dat
+from .data.quest import generate
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .parallel.runner import ALGORITHMS, mine_parallel
+
+__all__ = ["main", "build_parser"]
+
+_MACHINES = {"t3e": CRAY_T3E, "sp2": IBM_SP2}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description=(
+            "Association-rule mining: serial Apriori and the CD/DD/IDD/HD "
+            "parallel formulations on a simulated message-passing machine."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine a .dat transaction file")
+    mine.add_argument("database", help="path to a .dat transaction file")
+    mine.add_argument("--min-support", type=float, default=0.01)
+    mine.add_argument(
+        "--min-confidence",
+        type=float,
+        default=None,
+        help="also derive rules at this confidence",
+    )
+    mine.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default=None,
+        help="parallel formulation (omit for serial Apriori)",
+    )
+    mine.add_argument("--processors", type=int, default=4)
+    mine.add_argument(
+        "--machine", choices=sorted(_MACHINES), default="t3e"
+    )
+    mine.add_argument("--max-k", type=int, default=None)
+    mine.add_argument(
+        "--top", type=int, default=20, help="item-sets/rules to print"
+    )
+    mine.add_argument(
+        "--report",
+        action="store_true",
+        help="print a per-pass run report instead of raw item-sets",
+    )
+
+    gen = sub.add_parser("generate", help="generate a synthetic database")
+    gen.add_argument("--transactions", type=int, required=True)
+    gen.add_argument("--items", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .dat path")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument(
+        "--chart",
+        action="store_true",
+        help="render an ASCII chart in addition to the table",
+    )
+    exp.add_argument(
+        "--logx",
+        action="store_true",
+        help="log-scale the chart x axis (for processor sweeps)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "mine":
+        return _cmd_mine(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    return _cmd_experiment(args)
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = read_dat(args.database)
+    print(f"loaded {len(db)} transactions from {args.database}")
+    if args.algorithm is None:
+        result = Apriori(args.min_support, max_k=args.max_k).mine(db)
+        frequent = result.frequent
+        num_transactions = result.num_transactions
+        print(f"serial Apriori: {len(frequent)} frequent item-sets")
+        if args.report:
+            from .reporting import format_report
+
+            print(format_report(result))
+            return 0
+    else:
+        result = mine_parallel(
+            args.algorithm,
+            db,
+            args.min_support,
+            args.processors,
+            machine=_MACHINES[args.machine],
+            max_k=args.max_k,
+        )
+        frequent = result.frequent
+        num_transactions = result.num_transactions
+        print(
+            f"{args.algorithm} on {args.processors} simulated processors "
+            f"({_MACHINES[args.machine].name}): {len(frequent)} frequent "
+            f"item-sets, response time {result.total_time:.4f}s (simulated)"
+        )
+        if args.report:
+            from .reporting import format_report
+
+            print(format_report(result))
+            return 0
+    ranked = sorted(frequent.items(), key=lambda kv: (-kv[1], kv[0]))
+    for itemset, count in ranked[: args.top]:
+        support = count / max(1, num_transactions)
+        print(f"  {itemset}  count={count}  support={support:.4f}")
+    if args.min_confidence is not None:
+        rules = generate_rules(frequent, num_transactions, args.min_confidence)
+        print(f"{len(rules)} rules at confidence >= {args.min_confidence}")
+        for rule in rules[: args.top]:
+            print(f"  {rule}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = t15_i6(args.transactions, seed=args.seed, num_items=args.items)
+    db = generate(config)
+    write_dat(db, args.out)
+    stats = db.stats()
+    print(
+        f"wrote {stats.num_transactions} transactions "
+        f"({stats.num_items} distinct items, avg length "
+        f"{stats.avg_length:.1f}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name)
+    print(result.to_table())
+    if args.chart:
+        from .experiments.plotting import render_chart
+
+        print()
+        print(render_chart(result, logx=args.logx))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

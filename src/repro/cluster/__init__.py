@@ -1,0 +1,32 @@
+"""Simulated message-passing machine (the Cray T3E / IBM SP2 stand-in)."""
+
+from .cluster import VirtualCluster
+from .collectives import (
+    all_reduce_time,
+    all_to_all_broadcast_naive_time,
+    all_to_all_broadcast_ring_time,
+    broadcast_time,
+    ring_shift_step_time,
+)
+from .machine import CRAY_T3E, IBM_SP2, MachineSpec, subset_time
+from .memory import num_tree_partitions, partition_for_memory, tree_fits
+from .trace import CATEGORY_GLYPHS, TimelineTrace, TraceSegment
+
+__all__ = [
+    "CRAY_T3E",
+    "IBM_SP2",
+    "CATEGORY_GLYPHS",
+    "MachineSpec",
+    "TimelineTrace",
+    "TraceSegment",
+    "VirtualCluster",
+    "all_reduce_time",
+    "all_to_all_broadcast_naive_time",
+    "all_to_all_broadcast_ring_time",
+    "broadcast_time",
+    "num_tree_partitions",
+    "partition_for_memory",
+    "ring_shift_step_time",
+    "subset_time",
+    "tree_fits",
+]

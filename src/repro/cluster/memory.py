@@ -1,0 +1,52 @@
+"""Hash-tree memory pressure: CD's multiple database scans.
+
+When the candidate hash tree does not fit in a processor's main memory,
+CD "has to partition the hash tree and compute the counts by scanning
+the database multiple times, once for each partition of the hash tree"
+(Section III-A).  The per-processor capacity lives on the
+:class:`~repro.cluster.machine.MachineSpec`; this module turns it into
+the candidate-set chunking and the extra scan count the cost model
+charges in Figures 12 and 15.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..core.items import Itemset
+
+__all__ = ["num_tree_partitions", "partition_for_memory", "tree_fits"]
+
+
+def num_tree_partitions(num_candidates: int, capacity: Optional[int]) -> int:
+    """Number of hash-tree partitions (and database scans) required.
+
+    Args:
+        num_candidates: M for the pass.
+        capacity: per-processor tree capacity in candidates; ``None`` or
+            a capacity >= M means a single partition.
+    """
+    if num_candidates < 0:
+        raise ValueError("num_candidates must be non-negative")
+    if capacity is None or num_candidates == 0:
+        return 1
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return max(1, math.ceil(num_candidates / capacity))
+
+
+def tree_fits(num_candidates: int, capacity: Optional[int]) -> bool:
+    """True when the whole candidate set fits one in-memory tree."""
+    return num_tree_partitions(num_candidates, capacity) == 1
+
+
+def partition_for_memory(
+    candidates: Sequence[Itemset], capacity: Optional[int]
+) -> List[Sequence[Itemset]]:
+    """Split a candidate list into in-memory-sized contiguous chunks."""
+    parts = num_tree_partitions(len(candidates), capacity)
+    if parts == 1:
+        return [candidates]
+    chunk = math.ceil(len(candidates) / parts)
+    return [candidates[i : i + chunk] for i in range(0, len(candidates), chunk)]

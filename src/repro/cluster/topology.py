@@ -1,0 +1,78 @@
+"""Interconnect topologies and their all-to-all contention bounds.
+
+Section III-B grounds DD's communication problem in network structure:
+"On all realistic parallel computers, the processors are connected via
+a sparser networks (such as 2D, 3D or hypercube) and a processor can
+receive data from (or send data to) only one other processor at a time.
+On such machines, this communication pattern will take significantly
+more than O(N) time because of contention."
+
+This module quantifies that argument with the standard bisection-width
+bound: an unstructured all-to-all moves ~P²m/4 bytes across the network
+bisection, so relative to an uncontended ring broadcast its slowdown is
+at least ``P / (2 * bisection_width)``.  The factors below feed the
+topology ablation experiment; the machine presets use a flat *effective*
+coefficient instead (calibrated to include per-page startups and buffer
+stalls the pure bandwidth bound ignores — see
+:class:`~repro.cluster.machine.MachineSpec`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Topology",
+    "RING",
+    "MESH_2D",
+    "TORUS_3D",
+    "HYPERCUBE",
+    "FULLY_CONNECTED",
+    "ALL_TOPOLOGIES",
+]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """One interconnect family.
+
+    Attributes:
+        name: label ("ring", "3d-torus", ...).
+        _bisection: function P → bisection width in links.
+    """
+
+    name: str
+    _bisection: Callable[[int], float]
+
+    def bisection_width(self, num_processors: int) -> float:
+        """Links crossing the network bisection at size P."""
+        if num_processors < 1:
+            raise ValueError(
+                f"num_processors must be >= 1, got {num_processors}"
+            )
+        if num_processors == 1:
+            return 1.0
+        return max(1.0, self._bisection(num_processors))
+
+    def contention_factor(self, num_processors: int) -> float:
+        """Slowdown of an unstructured all-to-all vs a ring broadcast.
+
+        The bisection bound ``P / (2 * B)``, floored at 1 (a network
+        cannot make the pattern faster than the uncontended cost).
+        """
+        if num_processors == 1:
+            return 1.0
+        return max(
+            1.0, num_processors / (2.0 * self.bisection_width(num_processors))
+        )
+
+
+RING = Topology("ring", lambda p: 2.0)
+MESH_2D = Topology("2d-mesh", lambda p: math.sqrt(p))
+TORUS_3D = Topology("3d-torus", lambda p: 2.0 * p ** (2.0 / 3.0))
+HYPERCUBE = Topology("hypercube", lambda p: p / 2.0)
+FULLY_CONNECTED = Topology("fully-connected", lambda p: p * p / 4.0)
+
+ALL_TOPOLOGIES = (RING, MESH_2D, TORUS_3D, HYPERCUBE, FULLY_CONNECTED)

@@ -1,0 +1,61 @@
+"""Core association-rule mining substrate: serial Apriori and its parts.
+
+Public surface of the paper's Section II machinery plus the candidate
+partitioners the parallel formulations build on.
+"""
+
+from .apriori import Apriori, AprioriResult, PassTrace, min_support_count
+from .bitmap import ItemBitmap
+from .candidates import (
+    first_item_histogram,
+    generate_candidates,
+    generate_candidates_2,
+)
+from .counting import count_naive, count_with_hashtree, support_count
+from .hashtree import HashTree, HashTreeStats, TreeShape
+from .items import Item, Itemset, is_subset, itemset, validate_itemset
+from .partition import (
+    CandidatePartition,
+    bin_pack,
+    partition_by_first_item,
+    partition_round_robin,
+)
+from .rules import AssociationRule, generate_rules, rules_from_result
+from .streaming import StreamingApriori
+from .summaries import closed_itemsets, maximal_itemsets, support_histogram
+from .transaction import DBStats, TransactionDB
+
+__all__ = [
+    "Apriori",
+    "AprioriResult",
+    "AssociationRule",
+    "CandidatePartition",
+    "DBStats",
+    "HashTree",
+    "HashTreeStats",
+    "Item",
+    "ItemBitmap",
+    "Itemset",
+    "PassTrace",
+    "StreamingApriori",
+    "TransactionDB",
+    "TreeShape",
+    "bin_pack",
+    "closed_itemsets",
+    "count_naive",
+    "count_with_hashtree",
+    "first_item_histogram",
+    "generate_candidates",
+    "generate_candidates_2",
+    "generate_rules",
+    "is_subset",
+    "itemset",
+    "maximal_itemsets",
+    "min_support_count",
+    "partition_by_first_item",
+    "partition_round_robin",
+    "rules_from_result",
+    "support_count",
+    "support_histogram",
+    "validate_itemset",
+]

@@ -1,0 +1,72 @@
+"""First-item bitmap for IDD's root-level filtering (Section III-C, Fig. 8).
+
+Each IDD processor "keeps the first items of the candidates it has in a
+bit-map"; at the hash tree root, transaction items absent from the bitmap
+are skipped, which removes the redundant traversal work DD performs.
+
+The bitmap is backed by a single Python integer used as a bit vector, so
+membership is one shift-and-mask — an honest stand-in for the paper's
+bit-map — while still satisfying the ``in`` protocol the hash tree's
+``root_filter`` argument expects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["ItemBitmap"]
+
+
+class ItemBitmap:
+    """Membership bitmap over non-negative integer items."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, items: Iterable[int] = ()):
+        bits = 0
+        for item in items:
+            if item < 0:
+                raise ValueError(f"items must be non-negative, got {item}")
+            bits |= 1 << item
+        self._bits = bits
+
+    def __contains__(self, item: int) -> bool:
+        return (self._bits >> item) & 1 == 1
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        item = 0
+        while bits:
+            if bits & 1:
+                yield item
+            bits >>= 1
+            item += 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemBitmap):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __or__(self, other: "ItemBitmap") -> "ItemBitmap":
+        merged = ItemBitmap()
+        merged._bits = self._bits | other._bits
+        return merged
+
+    def __repr__(self) -> str:
+        return f"ItemBitmap({sorted(self)!r})"
+
+    def add(self, item: int) -> None:
+        """Set the bit for ``item``."""
+        if item < 0:
+            raise ValueError(f"items must be non-negative, got {item}")
+        self._bits |= 1 << item
+
+    def size_in_bytes(self, num_items: int) -> int:
+        """Bytes a dense bitmap over ``num_items`` items occupies.
+
+        Used by the cost model when IDD broadcasts ownership bitmaps.
+        """
+        return (num_items + 7) // 8

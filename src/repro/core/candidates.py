@@ -1,0 +1,121 @@
+"""Candidate generation — the paper's ``apriori_gen`` (Section II).
+
+Pass ``k`` candidates are produced from the frequent (k-1)-item-sets by
+the classic join + prune of Agrawal & Srikant:
+
+* **join**: two frequent (k-1)-sets sharing their first k-2 items are
+  merged into a k-set;
+* **prune**: a merged k-set survives only if *all* of its (k-1)-subsets
+  are frequent (the Apriori anti-monotonicity observation).
+
+Because item-sets are kept canonical (sorted tuples), joining sorted
+prefix groups yields candidates already in sorted order, "without any
+need for explicit sorting" as the paper notes.
+
+The module also provides the first-item histogram used by IDD's
+bin-packing partitioner (Section III-C): the number of candidates
+starting with each item, computable *without materializing the
+candidates on every processor*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .items import Itemset
+
+__all__ = [
+    "generate_candidates",
+    "generate_candidates_2",
+    "first_item_histogram",
+    "count_candidates_per_first_item",
+]
+
+
+def generate_candidates(frequent_prev: Iterable[Itemset]) -> List[Itemset]:
+    """Run apriori_gen: produce size-k candidates from frequent (k-1)-sets.
+
+    Args:
+        frequent_prev: the frequent item-sets of the previous pass; all
+            must be canonical tuples of one common size ``k-1 >= 1``.
+
+    Returns:
+        Sorted list of canonical size-k candidates that pass the subset
+        prune.
+
+    >>> generate_candidates([(1, 2), (1, 3), (2, 3), (2, 4)])
+    [(1, 2, 3)]
+    """
+    frequent_set: Set[Itemset] = set(frequent_prev)
+    if not frequent_set:
+        return []
+    sizes = {len(f) for f in frequent_set}
+    if len(sizes) != 1:
+        raise ValueError(f"frequent item-sets have mixed sizes: {sorted(sizes)}")
+    (k_prev,) = sizes
+
+    if k_prev == 1:
+        items = sorted(f[0] for f in frequent_set)
+        return [(a, b) for i, a in enumerate(items) for b in items[i + 1:]]
+
+    # Join step: group by (k-2)-prefix; within a group, sorted last items
+    # combine pairwise.
+    groups: Dict[Itemset, List[int]] = defaultdict(list)
+    for itemset in frequent_set:
+        groups[itemset[:-1]].append(itemset[-1])
+
+    candidates: List[Itemset] = []
+    for prefix_items, lasts in groups.items():
+        lasts.sort()
+        for i, a in enumerate(lasts):
+            for b in lasts[i + 1:]:
+                candidate = prefix_items + (a, b)
+                if _all_subsets_frequent(candidate, frequent_set):
+                    candidates.append(candidate)
+    candidates.sort()
+    return candidates
+
+
+def _all_subsets_frequent(candidate: Itemset, frequent_set: Set[Itemset]) -> bool:
+    """Prune step: every (k-1)-subset of ``candidate`` must be frequent.
+
+    The two subsets obtained by dropping one of the last two items equal
+    the joined parents and are frequent by construction, so only the
+    remaining k-2 subsets are tested.
+    """
+    for drop in range(len(candidate) - 2):
+        subset = candidate[:drop] + candidate[drop + 1:]
+        if subset not in frequent_set:
+            return False
+    return True
+
+
+def generate_candidates_2(frequent_items: Sequence[int]) -> List[Itemset]:
+    """Produce C2 directly from frequent single items.
+
+    Equivalent to ``generate_candidates`` on 1-item-sets but takes bare
+    items, matching how pass 1 results are usually held.
+    """
+    items = sorted(frequent_items)
+    return [(a, b) for i, a in enumerate(items) for b in items[i + 1:]]
+
+
+def first_item_histogram(candidates: Iterable[Itemset]) -> Counter:
+    """Count candidates per first item (input to IDD's bin packing)."""
+    histogram: Counter = Counter()
+    for candidate in candidates:
+        histogram[candidate[0]] += 1
+    return histogram
+
+
+def count_candidates_per_first_item(frequent_prev: Iterable[Itemset]) -> Counter:
+    """First-item histogram of the *next* pass's candidates, pre-materialization.
+
+    Section III-C: "at this time we do not actually store the candidate
+    item-sets, but just store the number of candidate item-sets starting
+    with each item".  This runs the same join + prune as
+    :func:`generate_candidates` but only tallies first items, letting the
+    IDD partitioner run before any processor builds its hash tree.
+    """
+    return first_item_histogram(generate_candidates(frequent_prev))

@@ -1,0 +1,71 @@
+"""Support counting front-ends.
+
+Two interchangeable counters over a transaction database:
+
+* :func:`count_naive` — the "naive string-matching" baseline mentioned in
+  Section II: test every candidate against every transaction.  Quadratic,
+  but obviously correct; it serves as the oracle the hash tree is tested
+  against.
+* :func:`count_with_hashtree` — build a hash tree over the candidates and
+  run the subset operation per transaction; returns both the counts and
+  the tree (whose instrumentation the callers may inspect).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .hashtree import HashTree
+from .items import Itemset, is_subset
+
+__all__ = ["count_naive", "count_with_hashtree", "support_count"]
+
+
+def count_naive(
+    candidates: Iterable[Itemset],
+    transactions: Iterable[Sequence[int]],
+) -> Dict[Itemset, int]:
+    """Count candidate occurrences by exhaustive containment tests."""
+    counts: Dict[Itemset, int] = {c: 0 for c in candidates}
+    candidate_list: List[Itemset] = list(counts)
+    for transaction in transactions:
+        for candidate in candidate_list:
+            if is_subset(candidate, transaction):
+                counts[candidate] += 1
+    return counts
+
+
+def count_with_hashtree(
+    candidates: Sequence[Itemset],
+    transactions: Iterable[Sequence[int]],
+    branching: int = 64,
+    leaf_capacity: int = 16,
+) -> Tuple[Dict[Itemset, int], HashTree]:
+    """Count candidate occurrences through a candidate hash tree.
+
+    Args:
+        candidates: canonical candidates, all of one size k >= 1.
+        transactions: canonical transactions.
+        branching: hash tree fan-out.
+        leaf_capacity: the paper's S (max candidates per splittable leaf).
+
+    Returns:
+        ``(counts, tree)`` — the count table and the instrumented tree.
+
+    Raises:
+        ValueError: if ``candidates`` is empty (a tree needs a size k).
+    """
+    if not candidates:
+        raise ValueError("count_with_hashtree requires at least one candidate")
+    k = len(candidates[0])
+    tree = HashTree(k, branching=branching, leaf_capacity=leaf_capacity)
+    tree.insert_all(candidates)
+    tree.count_database(transactions)
+    return dict(tree.counts()), tree
+
+
+def support_count(
+    candidate: Itemset, transactions: Iterable[Sequence[int]]
+) -> int:
+    """Support count sigma(C) of one item-set (Section II definition)."""
+    return sum(1 for t in transactions if is_subset(candidate, t))

@@ -1,0 +1,102 @@
+"""Canonical representations for items and item-sets.
+
+The paper (Section II) models a transaction database ``T`` over an item
+universe ``I``.  Throughout this library:
+
+* an *item* is a non-negative :class:`int` (item identifiers are dense
+  integers, as produced by the Quest generator);
+* an *itemset* is a :class:`tuple` of items sorted in strictly increasing
+  order.  Sorted tuples are hashable (so they can be dictionary keys in
+  count tables), cheap to compare, and — exactly as the paper notes for
+  its hash tree — keeping items sorted means candidate generation never
+  needs an explicit sort.
+
+This module provides the canonicalization and validation helpers that the
+rest of :mod:`repro.core` relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Item = int
+Itemset = Tuple[int, ...]
+
+__all__ = [
+    "Item",
+    "Itemset",
+    "itemset",
+    "is_canonical",
+    "validate_itemset",
+    "is_subset",
+    "first_item",
+    "prefix",
+]
+
+
+def itemset(items: Iterable[int]) -> Itemset:
+    """Return the canonical (sorted, duplicate-free) form of ``items``.
+
+    >>> itemset([3, 1, 2, 3])
+    (1, 2, 3)
+    """
+    return tuple(sorted(set(items)))
+
+
+def is_canonical(candidate: Sequence[int]) -> bool:
+    """Return ``True`` if ``candidate`` is strictly increasing.
+
+    Canonical itemsets contain no duplicates and are sorted, which is the
+    invariant every data structure in this package assumes.
+    """
+    return all(a < b for a, b in zip(candidate, candidate[1:]))
+
+
+def validate_itemset(candidate: Sequence[int]) -> Itemset:
+    """Validate that ``candidate`` is canonical and return it as a tuple.
+
+    Raises:
+        ValueError: if the sequence is empty, contains negative items, or
+            is not strictly increasing.
+    """
+    result = tuple(candidate)
+    if not result:
+        raise ValueError("an itemset must contain at least one item")
+    if result[0] < 0:
+        raise ValueError(f"items must be non-negative, got {result[0]}")
+    if not is_canonical(result):
+        raise ValueError(f"itemset {result!r} is not sorted and duplicate-free")
+    return result
+
+
+def is_subset(candidate: Sequence[int], transaction: Sequence[int]) -> bool:
+    """Return ``True`` if sorted ``candidate`` is contained in sorted ``transaction``.
+
+    Both arguments must be in canonical (strictly increasing) order.  This
+    is the merge-style containment test used by the naive counting oracle
+    and by leaf-node checks in the hash tree; it runs in
+    ``O(len(transaction))``.
+    """
+    pos = 0
+    limit = len(transaction)
+    for item in candidate:
+        while pos < limit and transaction[pos] < item:
+            pos += 1
+        if pos == limit or transaction[pos] != item:
+            return False
+        pos += 1
+    return True
+
+
+def first_item(candidate: Sequence[int]) -> int:
+    """Return the first (smallest) item of a canonical itemset.
+
+    IDD partitions the candidate set by first item (Section III-C); this
+    accessor names that operation.
+    """
+    return candidate[0]
+
+
+def prefix(candidate: Sequence[int], length: int) -> Itemset:
+    """Return the length-``length`` prefix of a canonical itemset."""
+    return tuple(candidate[:length])

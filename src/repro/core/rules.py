@@ -1,0 +1,150 @@
+"""Association rule generation (Section II definitions).
+
+A rule ``X => Y`` (X, Y disjoint, non-empty) has
+
+* support   = sigma(X ∪ Y) / |T|
+* confidence = sigma(X ∪ Y) / sigma(X)
+
+Discovery is the paper's "second step": derive all rules meeting a
+minimum confidence from the frequent item-sets found by Apriori.  We
+implement the ap-genrules strategy of Agrawal & Srikant: grow rule
+consequents with ``apriori_gen``, exploiting that if ``Z - h => h`` fails
+the confidence bar then so does every rule whose consequent contains
+``h`` (confidence is anti-monotone in the consequent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping
+
+from .apriori import AprioriResult
+from .candidates import generate_candidates
+from .items import Itemset
+
+__all__ = ["AssociationRule", "generate_rules", "rules_from_result"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """One association rule ``antecedent => consequent``.
+
+    Attributes:
+        antecedent: canonical item-set X.
+        consequent: canonical item-set Y (disjoint from X).
+        support: sigma(X ∪ Y) / |T|.
+        confidence: sigma(X ∪ Y) / sigma(X).
+        count: sigma(X ∪ Y), the absolute joint count.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    count: int
+
+    def __str__(self) -> str:
+        lhs = "{" + ", ".join(map(str, self.antecedent)) + "}"
+        rhs = "{" + ", ".join(map(str, self.consequent)) + "}"
+        return (
+            f"{lhs} => {rhs}"
+            f" (support={self.support:.3f}, confidence={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    frequent: Mapping[Itemset, int],
+    num_transactions: int,
+    min_confidence: float,
+) -> List[AssociationRule]:
+    """Derive all rules meeting ``min_confidence`` from frequent item-sets.
+
+    Args:
+        frequent: item-set → support count; must be *downward closed*
+            (every subset of a frequent set present), which Apriori
+            guarantees.
+        num_transactions: |T|, for fractional supports.
+        min_confidence: threshold in (0, 1].
+
+    Returns:
+        Rules sorted by descending confidence, then descending support,
+        then antecedent/consequent for determinism.
+
+    Raises:
+        KeyError: if ``frequent`` is not downward closed (a rule's
+            antecedent is missing a count).
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    if num_transactions <= 0:
+        raise ValueError("num_transactions must be positive")
+
+    rules: List[AssociationRule] = []
+    for itemset, joint_count in frequent.items():
+        if len(itemset) < 2:
+            continue
+        rules.extend(
+            _rules_for_itemset(
+                itemset, joint_count, frequent, num_transactions, min_confidence
+            )
+        )
+    rules.sort(
+        key=lambda r: (-r.confidence, -r.support, r.antecedent, r.consequent)
+    )
+    return rules
+
+
+def _rules_for_itemset(
+    itemset: Itemset,
+    joint_count: int,
+    frequent: Mapping[Itemset, int],
+    num_transactions: int,
+    min_confidence: float,
+) -> Iterator[AssociationRule]:
+    """ap-genrules for one frequent item-set Z of size >= 2."""
+    support = joint_count / num_transactions
+
+    def make_rule(consequent: Itemset) -> AssociationRule | None:
+        antecedent = tuple(i for i in itemset if i not in set(consequent))
+        confidence = joint_count / frequent[antecedent]
+        if confidence + 1e-12 < min_confidence:
+            return None
+        return AssociationRule(
+            antecedent=antecedent,
+            consequent=consequent,
+            support=support,
+            confidence=min(confidence, 1.0),
+            count=joint_count,
+        )
+
+    # Consequents of size 1.
+    surviving: List[Itemset] = []
+    for item in itemset:
+        rule = make_rule((item,))
+        if rule is not None:
+            surviving.append((item,))
+            yield rule
+
+    # Grow consequents: a size-(m+1) consequent is viable only if all its
+    # size-m subsets produced confident rules, so apriori_gen applies.
+    m = 1
+    while surviving and m + 1 < len(itemset):
+        next_consequents = generate_candidates(surviving)
+        surviving = []
+        for consequent in next_consequents:
+            rule = make_rule(consequent)
+            if rule is not None:
+                surviving.append(consequent)
+                yield rule
+        m += 1
+
+
+def rules_from_result(
+    result: AprioriResult, min_confidence: float
+) -> List[AssociationRule]:
+    """Convenience wrapper: derive rules straight from an Apriori result."""
+    return generate_rules(
+        result.frequent, result.num_transactions, min_confidence
+    )

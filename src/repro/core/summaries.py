@@ -1,0 +1,79 @@
+"""Condensed representations of a frequent-itemset collection.
+
+Apriori's output is downward closed and can be large; two standard
+condensations (introduced in the literature that followed the paper)
+are provided as conveniences for downstream users:
+
+* **maximal** frequent item-sets — those with no frequent superset; the
+  smallest family that still determines *which* item-sets are frequent;
+* **closed** frequent item-sets — those with no superset of equal
+  support; the smallest family that also preserves every support count.
+
+Both operate on the plain ``itemset → count`` mapping the miners
+produce, so they compose with serial and parallel results alike.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping
+
+from .items import Itemset
+
+__all__ = ["maximal_itemsets", "closed_itemsets", "support_histogram"]
+
+
+def maximal_itemsets(frequent: Mapping[Itemset, int]) -> Dict[Itemset, int]:
+    """Return the frequent item-sets with no frequent proper superset.
+
+    Runs in O(total items) by checking, for each item-set of size s,
+    whether any of its extensions by one item is frequent — sufficient
+    because the input is downward closed.
+    """
+    by_size: Dict[int, List[Itemset]] = defaultdict(list)
+    for itemset in frequent:
+        by_size[len(itemset)].append(itemset)
+    if not by_size:
+        return {}
+
+    result: Dict[Itemset, int] = {}
+    frequent_set = set(frequent)
+    items = sorted({i for s in frequent for i in s})
+    for size, itemsets in by_size.items():
+        for itemset in itemsets:
+            member = set(itemset)
+            has_frequent_superset = any(
+                item not in member
+                and tuple(sorted(itemset + (item,))) in frequent_set
+                for item in items
+            )
+            if not has_frequent_superset:
+                result[itemset] = frequent[itemset]
+    return result
+
+
+def closed_itemsets(frequent: Mapping[Itemset, int]) -> Dict[Itemset, int]:
+    """Return the frequent item-sets with no equal-support superset."""
+    frequent_map = dict(frequent)
+    items = sorted({i for s in frequent for i in s})
+    result: Dict[Itemset, int] = {}
+    for itemset, count in frequent_map.items():
+        member = set(itemset)
+        absorbed = any(
+            item not in member
+            and frequent_map.get(tuple(sorted(itemset + (item,)))) == count
+            for item in items
+        )
+        if not absorbed:
+            result[itemset] = count
+    return result
+
+
+def support_histogram(
+    frequent: Mapping[Itemset, int]
+) -> Dict[int, int]:
+    """Count frequent item-sets per size (the |Fk| row of a run report)."""
+    histogram: Dict[int, int] = defaultdict(int)
+    for itemset in frequent:
+        histogram[len(itemset)] += 1
+    return dict(histogram)

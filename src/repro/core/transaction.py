@@ -1,0 +1,140 @@
+"""In-memory transaction database.
+
+The paper assumes transactions are "evenly distributed among the
+processors" (Section III).  :class:`TransactionDB` is the substrate every
+algorithm in this package consumes: an immutable, indexable collection of
+canonical transactions with helpers for block partitioning (the even
+distribution used by CD/DD/IDD/HD) and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from .items import Itemset, validate_itemset
+
+__all__ = ["TransactionDB", "DBStats"]
+
+
+@dataclass(frozen=True)
+class DBStats:
+    """Summary statistics of a transaction database."""
+
+    num_transactions: int
+    num_items: int
+    min_length: int
+    max_length: int
+    avg_length: float
+    total_item_occurrences: int
+
+
+class TransactionDB:
+    """An immutable list of canonical transactions.
+
+    Each transaction is a sorted, duplicate-free tuple of non-negative
+    integer items (see :mod:`repro.core.items`).
+
+    Args:
+        transactions: iterable of item sequences.  Each is validated and
+            canonical order is enforced (raises ``ValueError`` otherwise,
+            so malformed input fails loudly at load time rather than
+            mis-counting later).
+    """
+
+    __slots__ = ("_transactions",)
+
+    def __init__(self, transactions: Iterable[Sequence[int]]):
+        self._transactions: List[Itemset] = [
+            validate_itemset(t) for t in transactions
+        ]
+
+    @classmethod
+    def from_canonical(cls, transactions: List[Itemset]) -> "TransactionDB":
+        """Build a DB from transactions already known to be canonical.
+
+        Skips per-transaction validation; used by the Quest generator and
+        by partitioning, where canonical form is guaranteed by
+        construction.
+        """
+        db = cls.__new__(cls)
+        db._transactions = transactions
+        return db
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Itemset:
+        return self._transactions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionDB):
+            return NotImplemented
+        return self._transactions == other._transactions
+
+    def __repr__(self) -> str:
+        return f"TransactionDB(n={len(self._transactions)})"
+
+    @property
+    def transactions(self) -> Sequence[Itemset]:
+        """The underlying transaction list (treat as read-only)."""
+        return self._transactions
+
+    def item_universe(self) -> Itemset:
+        """Return the sorted tuple of all distinct items appearing in the DB."""
+        universe: set[int] = set()
+        for transaction in self._transactions:
+            universe.update(transaction)
+        return tuple(sorted(universe))
+
+    def stats(self) -> DBStats:
+        """Compute summary statistics for reporting and workload sizing."""
+        if not self._transactions:
+            return DBStats(0, 0, 0, 0, 0.0, 0)
+        lengths = [len(t) for t in self._transactions]
+        total = sum(lengths)
+        return DBStats(
+            num_transactions=len(self._transactions),
+            num_items=len(self.item_universe()),
+            min_length=min(lengths),
+            max_length=max(lengths),
+            avg_length=total / len(lengths),
+            total_item_occurrences=total,
+        )
+
+    def partition(self, num_parts: int) -> List["TransactionDB"]:
+        """Split into ``num_parts`` contiguous, near-equal blocks.
+
+        This models the even distribution of transactions over processors
+        that all four parallel formulations assume.  Block ``i`` receives
+        either ``ceil(n / P)`` or ``floor(n / P)`` transactions, and the
+        concatenation of the blocks in order equals the original DB.
+
+        Raises:
+            ValueError: if ``num_parts`` is not a positive integer.
+        """
+        if num_parts <= 0:
+            raise ValueError(f"num_parts must be positive, got {num_parts}")
+        n = len(self._transactions)
+        base, extra = divmod(n, num_parts)
+        parts: List[TransactionDB] = []
+        start = 0
+        for i in range(num_parts):
+            size = base + (1 if i < extra else 0)
+            parts.append(
+                TransactionDB.from_canonical(self._transactions[start:start + size])
+            )
+            start += size
+        return parts
+
+    def size_in_bytes(self, bytes_per_item: int = 4) -> int:
+        """Approximate on-disk size of the DB.
+
+        The cost model charges communication and I/O per byte; a
+        transaction is modeled as its items at ``bytes_per_item`` each
+        plus a 4-byte length header, mirroring a packed binary layout.
+        """
+        return sum(4 + bytes_per_item * len(t) for t in self._transactions)

@@ -1,0 +1,41 @@
+"""Synthetic data generation and dataset I/O."""
+
+from .corpus import (
+    SUPERMARKET_ITEMS,
+    SUPERMARKET_NAMES,
+    supermarket,
+    t5_i2,
+    t10_i4,
+    t15_i6,
+    t20_i6,
+)
+from .io import (
+    read_dat,
+    read_partitioned,
+    stream_dat,
+    write_dat,
+    write_partitioned,
+)
+from .quest import QuestConfig, QuestGenerator, generate
+from .serialize import load_frequent, result_to_dict, save_result
+
+__all__ = [
+    "QuestConfig",
+    "QuestGenerator",
+    "SUPERMARKET_ITEMS",
+    "SUPERMARKET_NAMES",
+    "generate",
+    "load_frequent",
+    "read_dat",
+    "read_partitioned",
+    "result_to_dict",
+    "save_result",
+    "stream_dat",
+    "supermarket",
+    "t10_i4",
+    "t15_i6",
+    "t20_i6",
+    "t5_i2",
+    "write_dat",
+    "write_partitioned",
+]

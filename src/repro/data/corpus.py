@@ -1,0 +1,112 @@
+"""Named datasets used throughout the reproduction.
+
+* :func:`supermarket` — the five-transaction worked example of the
+  paper's Table I (Bread, Beer, Coke, Diaper, Milk), used by the
+  quickstart and by tests that pin the paper's exact support/confidence
+  numbers.
+* :func:`t15_i6` — the paper's synthetic workload family: "average
+  transaction length of 15 and average size of frequent item sets of 6".
+* :func:`t5_i2` — a miniature family for fast unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.transaction import TransactionDB
+from .quest import QuestConfig
+
+__all__ = [
+    "SUPERMARKET_ITEMS",
+    "SUPERMARKET_NAMES",
+    "supermarket",
+    "t10_i4",
+    "t15_i6",
+    "t20_i6",
+    "t5_i2",
+]
+
+# Item ids assigned alphabetically, matching Table I's item universe
+# {Bread, Beer, Coke, Diaper, Milk}.
+SUPERMARKET_ITEMS: Dict[str, int] = {
+    "Beer": 0,
+    "Bread": 1,
+    "Coke": 2,
+    "Diaper": 3,
+    "Milk": 4,
+}
+
+SUPERMARKET_NAMES: Dict[int, str] = {v: k for k, v in SUPERMARKET_ITEMS.items()}
+
+_SUPERMARKET_ROWS: Tuple[Tuple[str, ...], ...] = (
+    ("Bread", "Coke", "Milk"),
+    ("Beer", "Bread"),
+    ("Beer", "Coke", "Diaper", "Milk"),
+    ("Beer", "Bread", "Diaper", "Milk"),
+    ("Coke", "Diaper", "Milk"),
+)
+
+
+def supermarket() -> TransactionDB:
+    """The five supermarket transactions of Table I."""
+    return TransactionDB(
+        sorted(SUPERMARKET_ITEMS[name] for name in row)
+        for row in _SUPERMARKET_ROWS
+    )
+
+
+def t15_i6(num_transactions: int, seed: int = 0, num_items: int = 1000) -> QuestConfig:
+    """The paper's T15.I6 synthetic workload configuration.
+
+    Args:
+        num_transactions: database size (the paper uses 50K transactions
+            per processor on the T3E; experiments here scale this down —
+            see EXPERIMENTS.md).
+        seed: PRNG seed.
+        num_items: item universe size; smaller universes raise candidate
+            density, which the support sweeps in Figures 12 and 15 exploit.
+    """
+    return QuestConfig(
+        num_transactions=num_transactions,
+        avg_transaction_length=15.0,
+        avg_pattern_length=6.0,
+        num_items=num_items,
+        num_patterns=max(20, num_items // 5),
+        seed=seed,
+    )
+
+
+def t10_i4(num_transactions: int, seed: int = 0, num_items: int = 1000) -> QuestConfig:
+    """The classic T10.I4 workload family (Agrawal & Srikant's T10.I4.D100K)."""
+    return QuestConfig(
+        num_transactions=num_transactions,
+        avg_transaction_length=10.0,
+        avg_pattern_length=4.0,
+        num_items=num_items,
+        num_patterns=max(20, num_items // 5),
+        seed=seed,
+    )
+
+
+def t20_i6(num_transactions: int, seed: int = 0, num_items: int = 1000) -> QuestConfig:
+    """The heavier T20.I6 workload family (longer baskets, denser passes)."""
+    return QuestConfig(
+        num_transactions=num_transactions,
+        avg_transaction_length=20.0,
+        avg_pattern_length=6.0,
+        num_items=num_items,
+        num_patterns=max(20, num_items // 5),
+        seed=seed,
+    )
+
+
+def t5_i2(num_transactions: int, seed: int = 0, num_items: int = 50) -> QuestConfig:
+    """A small, fast workload for unit tests (T5.I2 style)."""
+    return QuestConfig(
+        num_transactions=num_transactions,
+        avg_transaction_length=5.0,
+        avg_pattern_length=2.0,
+        num_items=num_items,
+        num_patterns=20,
+        seed=seed,
+    )

@@ -1,0 +1,113 @@
+"""Transaction database file I/O.
+
+Databases are stored in the conventional ``.dat`` market-basket format:
+one transaction per line, items as space-separated integers.  This is the
+format of the FIMI repository datasets, so real-world benchmark files
+(retail, kosarak, ...) drop straight in.
+
+Partitioned writes mirror how a parallel run would lay data out across
+processor-local disks (one file per processor), which the examples use to
+demonstrate the single-data-source scenario Section VI mentions for IDD.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, List, Union
+
+from ..core.transaction import TransactionDB
+
+__all__ = [
+    "write_dat",
+    "read_dat",
+    "stream_dat",
+    "write_partitioned",
+    "read_partitioned",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open plain or gzip-compressed text based on the file suffix."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return path.open(mode, encoding="ascii")
+
+
+def write_dat(db: TransactionDB, path: PathLike) -> None:
+    """Write a database in ``.dat`` format (one transaction per line).
+
+    A ``.gz`` suffix writes gzip-compressed output (large synthetic
+    databases compress ~4x).
+    """
+    target = Path(path)
+    with _open_text(target, "w") as handle:
+        for transaction in db:
+            handle.write(" ".join(map(str, transaction)))
+            handle.write("\n")
+
+
+def read_dat(path: PathLike) -> TransactionDB:
+    """Read a ``.dat`` (or gzip-compressed ``.dat.gz``) file.
+
+    Blank lines are skipped.  Items on each line may appear unsorted or
+    duplicated (some published datasets are messy); they are
+    canonicalized on load.
+    """
+    transactions = []
+    with _open_text(Path(path), "r") as handle:
+        for line in handle:
+            fields = line.split()
+            if not fields:
+                continue
+            transactions.append(sorted({int(f) for f in fields}))
+    return TransactionDB(transactions)
+
+
+def stream_dat(path: PathLike):
+    """Yield canonical transactions from a ``.dat``/``.dat.gz`` file.
+
+    A generator for disk-resident mining with
+    :class:`repro.core.streaming.StreamingApriori`: wrap it in a factory
+    (``lambda: stream_dat(path)``) so each pass re-opens the file, and
+    only one transaction is in memory at a time.
+    """
+    with _open_text(Path(path), "r") as handle:
+        for line in handle:
+            fields = line.split()
+            if not fields:
+                continue
+            yield tuple(sorted({int(f) for f in fields}))
+
+
+def write_partitioned(
+    db: TransactionDB, directory: PathLike, num_parts: int, stem: str = "part"
+) -> List[Path]:
+    """Write ``db`` as ``num_parts`` block-partitioned ``.dat`` files.
+
+    Returns the file paths in processor order
+    (``<stem>-0000.dat``, ``<stem>-0001.dat``, ...).
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for index, part in enumerate(db.partition(num_parts)):
+        path = target / f"{stem}-{index:04d}.dat"
+        write_dat(part, path)
+        paths.append(path)
+    return paths
+
+
+def read_partitioned(directory: PathLike, stem: str = "part") -> TransactionDB:
+    """Reassemble a partitioned database written by :func:`write_partitioned`."""
+    paths = sorted(Path(directory).glob(f"{stem}-*.dat"))
+    if not paths:
+        raise FileNotFoundError(
+            f"no '{stem}-*.dat' files found in {directory!s}"
+        )
+    transactions = []
+    for path in paths:
+        transactions.extend(read_dat(path).transactions)
+    return TransactionDB.from_canonical(list(transactions))

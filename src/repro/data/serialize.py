@@ -1,0 +1,99 @@
+"""JSON serialization of mining results.
+
+Long experiment campaigns want to persist what a run found and measured;
+this module round-trips serial (:class:`~repro.core.apriori.
+AprioriResult`) and parallel (:class:`~repro.parallel.base.MiningResult`)
+results through a stable JSON representation.  Item-sets are encoded as
+lists (JSON has no tuples) and re-canonicalized on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..core.apriori import AprioriResult
+from ..parallel.base import MiningResult
+
+__all__ = [
+    "result_to_dict",
+    "save_result",
+    "load_frequent",
+]
+
+PathLike = Union[str, Path]
+Result = Union[AprioriResult, MiningResult]
+
+
+def result_to_dict(result: Result) -> Dict[str, Any]:
+    """Convert a mining result to a JSON-compatible dictionary.
+
+    The frequent table is stored as parallel lists (item-sets and
+    counts) for compactness; metadata covers everything needed to
+    reproduce or compare the run.
+    """
+    itemsets = sorted(result.frequent)
+    payload: Dict[str, Any] = {
+        "format": "repro.mining-result.v1",
+        "min_support": result.min_support,
+        "min_count": result.min_count,
+        "num_transactions": result.num_transactions,
+        "itemsets": [list(s) for s in itemsets],
+        "counts": [result.frequent[s] for s in itemsets],
+    }
+    if isinstance(result, MiningResult):
+        payload["algorithm"] = result.algorithm
+        payload["num_processors"] = result.num_processors
+        payload["total_time"] = result.total_time
+        payload["breakdown"] = dict(result.breakdown)
+        payload["passes"] = [
+            {
+                "k": p.k,
+                "num_candidates": p.num_candidates,
+                "num_frequent": p.num_frequent,
+                "grid": list(p.grid),
+                "tree_partitions": p.tree_partitions,
+            }
+            for p in result.passes
+        ]
+    else:
+        payload["algorithm"] = "serial"
+        payload["passes"] = [
+            {
+                "k": p.k,
+                "num_candidates": p.num_candidates,
+                "num_frequent": p.num_frequent,
+            }
+            for p in result.passes
+        ]
+    return payload
+
+
+def save_result(result: Result, path: PathLike) -> None:
+    """Write a mining result to a JSON file."""
+    payload = result_to_dict(result)
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_frequent(path: PathLike) -> Dict[tuple, int]:
+    """Load the frequent-set table back from a saved result.
+
+    Returns the ``itemset → count`` mapping with canonical tuple keys;
+    raises ``ValueError`` for unrecognized files.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro.mining-result.v1":
+        raise ValueError(
+            f"{path!s} is not a repro mining-result file"
+        )
+    itemsets = payload["itemsets"]
+    counts = payload["counts"]
+    if len(itemsets) != len(counts):
+        raise ValueError(f"{path!s} is corrupt: table lengths differ")
+    return {
+        tuple(sorted(items)): count
+        for items, count in zip(itemsets, counts)
+    }

@@ -1,0 +1,48 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .ablations import (
+    run_ablation_bitmap,
+    run_ablation_candgen,
+    run_ablation_hashtree,
+    run_ablation_hd_threshold,
+    run_ablation_overlap,
+    run_ablation_partition,
+)
+from .common import ExperimentResult, check_all_equal
+from .figure10 import run_figure10
+from .figure11 import aggregate_leaf_visits, run_figure11
+from .figure12 import run_figure12
+from .figure13 import run_figure13
+from .figure14 import run_figure14
+from .figure15 import run_figure15
+from .hpa_comm import run_hpa_comm
+from .plotting import render_chart
+from .imbalance import run_imbalance
+from .registry import EXPERIMENTS, run_experiment
+from .table2 import run_table2
+from .topology import run_topology
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "aggregate_leaf_visits",
+    "check_all_equal",
+    "run_ablation_bitmap",
+    "run_ablation_candgen",
+    "run_ablation_hashtree",
+    "run_ablation_hd_threshold",
+    "run_ablation_overlap",
+    "run_ablation_partition",
+    "run_experiment",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+    "run_hpa_comm",
+    "run_imbalance",
+    "render_chart",
+    "run_table2",
+    "run_topology",
+]

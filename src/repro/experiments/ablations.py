@@ -1,0 +1,281 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These are not experiments from the paper; they isolate the contribution
+of individual design decisions the paper asserts but does not measure
+separately:
+
+* **hash-tree geometry** — branching factor and leaf capacity trade
+  traversal work against leaf-checking work (Section IV discusses tuning
+  S "by adjusting the branching factor");
+* **IDD partitioning strategy** — bin-packing vs the naive contiguous
+  first-item ranges Section III-C warns against, with and without
+  second-item refinement;
+* **IDD bitmap filter** — the root-level pruning on/off, isolating the
+  "intelligent" part from the communication fix;
+* **HD switch threshold** — sensitivity of HD to its m parameter;
+* **communication overlap** — IDD on a machine with and without
+  asynchronous communication support (Section III-D: the lack of overlap
+  "will be an even more serious problem in a system that cannot perform
+  asynchronous communication").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..core.apriori import Apriori
+from ..data.corpus import t15_i6
+from ..data.quest import generate
+from ..parallel.hybrid import HybridDistribution
+from ..parallel.intelligent_dd import IntelligentDataDistribution
+from .common import ExperimentResult, check_all_equal
+
+__all__ = [
+    "run_ablation_hashtree",
+    "run_ablation_partition",
+    "run_ablation_bitmap",
+    "run_ablation_hd_threshold",
+    "run_ablation_overlap",
+    "run_ablation_candgen",
+]
+
+
+def _workload(num_transactions: int, seed: int, num_items: int = 1000):
+    return generate(t15_i6(num_transactions, seed=seed, num_items=num_items))
+
+
+def run_ablation_hashtree(
+    num_transactions: int = 1200,
+    min_support: float = 0.01,
+    branchings: Sequence[int] = (4, 16, 64, 256),
+    leaf_capacities: Sequence[int] = (4, 16, 64),
+    seed: int = 21,
+) -> ExperimentResult:
+    """Serial Apriori work profile across hash-tree geometries.
+
+    Reports, per (branching, leaf capacity) pair, the total traversal
+    steps and leaf-candidate checks — the two quantities the geometry
+    trades against each other.
+    """
+    db = _workload(num_transactions, seed)
+    result = ExperimentResult(
+        name="ablation_hashtree",
+        title="Hash tree geometry: traversal vs checking work (serial)",
+        x_label="branching",
+        y_label="work units (millions)",
+        notes=[
+            "series are labeled <counter>@S=<leaf capacity>",
+            "larger branching cuts checking work, raising tree overhead; "
+            "the counts are identical for every geometry",
+        ],
+    )
+    reference = None
+    for branching in branchings:
+        for capacity in leaf_capacities:
+            run = Apriori(
+                min_support, branching=branching, leaf_capacity=capacity
+            ).mine(db)
+            if reference is None:
+                reference = run.frequent
+            elif run.frequent != reference:
+                raise AssertionError(
+                    "hash-tree geometry changed the mining result"
+                )
+            steps = sum(
+                p.tree_stats.hash_steps
+                for p in run.passes
+                if p.tree_stats is not None
+            )
+            checks = sum(
+                p.tree_stats.candidates_checked
+                for p in run.passes
+                if p.tree_stats is not None
+            )
+            result.add_point(f"traversals@S={capacity}", branching, steps / 1e6)
+            result.add_point(f"checks@S={capacity}", branching, checks / 1e6)
+    return result
+
+
+def run_ablation_partition(
+    tx_per_processor: int = 150,
+    min_support: float = 0.008,
+    processor_counts: Sequence[int] = (8, 16, 32),
+    machine: MachineSpec = CRAY_T3E,
+    seed: int = 22,
+) -> ExperimentResult:
+    """IDD partitioner comparison: bin-packing vs contiguous vs refined.
+
+    Expected: contiguous ranges load-imbalance badly (Section III-C's
+    1-to-50 example); bin-packing fixes it; second-item refinement helps
+    further once per-processor candidate counts get small.
+    """
+    result = ExperimentResult(
+        name="ablation_partition",
+        title="IDD candidate partitioning strategies (response time)",
+        x_label="processors",
+        y_label="response time (simulated seconds)",
+        notes=["refined = bin-packing with second-item splitting of heavy items"],
+    )
+    strategies = (
+        ("contiguous", {"partition_strategy": "contiguous"}),
+        ("bin_pack", {}),
+        ("refined", {"refine_threshold": 64}),
+    )
+    for num_processors in processor_counts:
+        db = _workload(tx_per_processor * num_processors, seed)
+        runs = []
+        for label, kwargs in strategies:
+            miner = IntelligentDataDistribution(
+                min_support, num_processors, machine=machine, **kwargs
+            )
+            run = miner.mine(db)
+            runs.append(run)
+            result.add_point(label, num_processors, run.total_time)
+            result.extras[(label, num_processors, "idle")] = (
+                run.breakdown.get("idle", 0.0)
+            )
+        check_all_equal(runs, context=f"ablation_partition P={num_processors}")
+    return result
+
+
+def run_ablation_bitmap(
+    tx_per_processor: int = 150,
+    min_support: float = 0.008,
+    processor_counts: Sequence[int] = (4, 8, 16),
+    machine: MachineSpec = CRAY_T3E,
+    seed: int = 23,
+) -> ExperimentResult:
+    """IDD with and without the root-level bitmap filter.
+
+    Isolates the "intelligent" part of IDD: without the bitmap the
+    partitioning still balances memory, but every transaction fans out
+    all of its items at every processor's root, as in DD.
+    """
+    result = ExperimentResult(
+        name="ablation_bitmap",
+        title="IDD root bitmap filter on/off (response time)",
+        x_label="processors",
+        y_label="response time (simulated seconds)",
+    )
+    for num_processors in processor_counts:
+        db = _workload(tx_per_processor * num_processors, seed)
+        runs = []
+        for label, use_bitmap in (("bitmap", True), ("no_bitmap", False)):
+            run = IntelligentDataDistribution(
+                min_support,
+                num_processors,
+                machine=machine,
+                use_bitmap=use_bitmap,
+            ).mine(db)
+            runs.append(run)
+            result.add_point(label, num_processors, run.total_time)
+        check_all_equal(runs, context=f"ablation_bitmap P={num_processors}")
+    return result
+
+
+def run_ablation_hd_threshold(
+    num_transactions: int = 2400,
+    min_support: float = 0.008,
+    num_processors: int = 16,
+    thresholds: Sequence[int] = (1, 100, 1000, 10_000, 10**9),
+    machine: MachineSpec = CRAY_T3E,
+    seed: int = 24,
+) -> ExperimentResult:
+    """HD's sensitivity to the switch threshold m.
+
+    m -> infinity degenerates HD to CD, m -> 1 to IDD; intermediate
+    values should dominate both ends (Equation 8's open interval).
+    """
+    db = _workload(num_transactions, seed)
+    result = ExperimentResult(
+        name="ablation_hd_threshold",
+        title=f"HD switch-threshold sweep (P={num_processors})",
+        x_label="threshold m",
+        y_label="response time (simulated seconds)",
+        notes=["m=1 is IDD, m=1e9 is CD"],
+    )
+    runs = []
+    for threshold in thresholds:
+        run = HybridDistribution(
+            min_support,
+            num_processors,
+            machine=machine,
+            switch_threshold=threshold,
+        ).mine(db)
+        runs.append(run)
+        result.add_point("HD", threshold, run.total_time)
+    check_all_equal(runs, context="ablation_hd_threshold")
+    return result
+
+
+def run_ablation_overlap(
+    tx_per_processor: int = 150,
+    min_support: float = 0.008,
+    processor_counts: Sequence[int] = (4, 8, 16),
+    machine: MachineSpec = CRAY_T3E,
+    seed: int = 25,
+) -> ExperimentResult:
+    """IDD on machines with and without communication/computation overlap."""
+    result = ExperimentResult(
+        name="ablation_overlap",
+        title="IDD with vs without asynchronous-communication overlap",
+        x_label="processors",
+        y_label="response time (simulated seconds)",
+    )
+    for num_processors in processor_counts:
+        db = _workload(tx_per_processor * num_processors, seed)
+        runs = []
+        for label, overlap in (("async", True), ("blocking", False)):
+            run = IntelligentDataDistribution(
+                min_support,
+                num_processors,
+                machine=machine.with_overlap(overlap),
+            ).mine(db)
+            runs.append(run)
+            result.add_point(label, num_processors, run.total_time)
+        check_all_equal(runs, context=f"ablation_overlap P={num_processors}")
+    return result
+
+
+def run_ablation_candgen(
+    num_transactions: int = 2400,
+    min_support: float = 0.006,
+    processor_counts: Sequence[int] = (4, 16, 64),
+    machine: MachineSpec = CRAY_T3E,
+    seed: int = 26,
+) -> ExperimentResult:
+    """Serial vs parallelized apriori_gen (an extension beyond the paper).
+
+    All four published formulations regenerate the candidate set on
+    every processor; splitting the join by prefix group turns the
+    O(|Ck|) per-processor cost into O(|Ck|/P) plus an exchange.  The
+    gain should grow with P and with the candidate count — measured
+    here on CD, where candidate-proportional costs dominate at scale.
+    """
+    from ..parallel.count_distribution import CountDistribution
+
+    db = _workload(num_transactions, seed)
+    result = ExperimentResult(
+        name="ablation_candgen",
+        title="apriori_gen: redundant (paper) vs parallelized (extension)",
+        x_label="processors",
+        y_label="candgen time, mean seconds/processor",
+        notes=["run on CD; mining output identical in all cells"],
+    )
+    for num_processors in processor_counts:
+        runs = []
+        for label, flag in (("redundant", False), ("parallel", True)):
+            run = CountDistribution(
+                min_support,
+                num_processors,
+                machine=machine,
+                parallel_candgen=flag,
+            ).mine(db)
+            runs.append(run)
+            result.add_point(
+                label, num_processors, run.breakdown.get("candgen", 0.0)
+            )
+            result.extras[(label, num_processors, "total")] = run.total_time
+        check_all_equal(runs, context=f"ablation_candgen P={num_processors}")
+    return result

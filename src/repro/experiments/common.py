@@ -1,0 +1,103 @@
+"""Shared experiment plumbing: result containers and table rendering.
+
+Every experiment module returns an :class:`ExperimentResult` — a set of
+named series over a common x-axis plus free-form notes — which renders
+as the aligned text table the benchmark harness prints.  Experiments are
+deterministic (seeded workloads, simulated clocks), so the tables are
+bit-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ExperimentResult", "check_all_equal"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure.
+
+    Attributes:
+        name: experiment id, e.g. ``"figure10"``.
+        title: one-line description echoing the paper's caption.
+        x_label: meaning of the x values.
+        y_label: meaning of the series values.
+        x_values: shared x-axis points, in order.
+        series: series name → (x → y) mapping; missing x means the paper
+            did not run that configuration either (e.g. DD beyond 32
+            processors).
+        notes: provenance lines (scale factors, parameter substitutions).
+        extras: auxiliary measured values, keyed by (series, x, field).
+    """
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[float] = field(default_factory=list)
+    series: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[Tuple[str, float, str], float] = field(default_factory=dict)
+
+    def add_point(self, series_name: str, x: float, y: float) -> None:
+        """Record one measurement, registering the x value if new."""
+        if x not in self.x_values:
+            self.x_values.append(x)
+        self.series.setdefault(series_name, {})[x] = y
+
+    def get(self, series_name: str, x: float) -> float:
+        """Look up one measurement; raises ``KeyError`` when absent."""
+        return self.series[series_name][x]
+
+    def ratio(self, numerator: str, denominator: str, x: float) -> float:
+        """y ratio of two series at one x (for who-wins-by-what checks)."""
+        return self.get(numerator, x) / self.get(denominator, x)
+
+    def to_table(self, y_format: str = "{:10.4f}") -> str:
+        """Render the result as an aligned text table."""
+        lines = [f"{self.name}: {self.title}"]
+        header = f"{self.x_label:>16s} | " + " | ".join(
+            f"{name:>10s}" for name in self.series
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in self.x_values:
+            cells = []
+            for name in self.series:
+                value = self.series[name].get(x)
+                cells.append(
+                    y_format.format(value) if value is not None else " " * 10
+                )
+            x_text = f"{x:g}"
+            lines.append(f"{x_text:>16s} | " + " | ".join(cells))
+        lines.append(f"(y = {self.y_label})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def check_all_equal(results: Sequence, context: str = "") -> None:
+    """Assert that several mining results found identical frequent sets.
+
+    The experiments run the same workload through multiple formulations;
+    any divergence is an implementation bug, so timings are only reported
+    after this cross-check passes.
+
+    Args:
+        results: mining results (serial or parallel; anything with a
+            ``frequent`` mapping).
+        context: label included in the failure message.
+    """
+    if len(results) < 2:
+        return
+    reference = results[0].frequent
+    for other in results[1:]:
+        if other.frequent != reference:
+            first_name = getattr(results[0], "algorithm", "serial")
+            other_name = getattr(other, "algorithm", "serial")
+            raise AssertionError(
+                f"{context}: {other_name} disagrees with {first_name} "
+                f"({len(other.frequent)} vs {len(reference)} frequent item-sets)"
+            )

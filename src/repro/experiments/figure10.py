@@ -1,0 +1,108 @@
+"""Figure 10 — scaleup on the Cray T3E.
+
+Paper setting: 50K transactions *per processor*, 0.1% minimum support,
+P = 4..128; curves for CD, DD, DD+comm, IDD and HD (m = 5K).  DD was too
+slow to run beyond 32 processors in the paper's figure, and we cap it
+the same way.
+
+Scaled-down setting (defaults): 150 transactions per processor, T15.I6
+data over 1000 items, 0.8% support.  Support is raised so that the
+candidate-set geometry (a dominant pass-2/3 with tens of thousands of
+candidates) stays proportionate to the smaller database; EXPERIMENTS.md
+records the paper-vs-measured shapes.
+
+Expected shape: DD worst and diverging with P; DD+comm between DD and
+IDD (the communication mechanism accounts for part of IDD's win, the
+intelligent partitioning for the rest); IDD rising slowly and crossing
+CD at high P (load imbalance); CD nearly flat; HD flat and beating CD,
+with the gap growing with P.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..data.corpus import t15_i6
+from ..data.quest import generate
+from ..parallel.runner import mine_parallel
+from .common import ExperimentResult, check_all_equal
+
+__all__ = ["run_figure10"]
+
+_ALGORITHMS = ("CD", "DD", "DD+comm", "IDD", "HD")
+
+
+def run_figure10(
+    tx_per_processor: int = 150,
+    min_support: float = 0.008,
+    processor_counts: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    dd_max_processors: int = 32,
+    switch_threshold: int = 20_000,
+    machine: MachineSpec = CRAY_T3E,
+    num_items: int = 1000,
+    seed: int = 7,
+    max_k: Optional[int] = None,
+) -> ExperimentResult:
+    """Reproduce the Figure 10 scaleup experiment.
+
+    Args:
+        tx_per_processor: transactions per processor (paper: 50K).
+        min_support: fractional support (paper: 0.1%).
+        processor_counts: the P sweep (paper: 4..128).
+        dd_max_processors: largest P at which the DD variants run
+            (paper's figure stops DD around 32).
+        switch_threshold: HD's m (paper: 5K at full scale).
+        machine: cost model.
+        num_items: item universe of the synthetic data.
+        seed: workload seed.
+        max_k: optional pass cap to shorten smoke runs.
+    """
+    result = ExperimentResult(
+        name="figure10",
+        title=(
+            "Scaleup: response time vs processors "
+            f"({tx_per_processor} tx/processor, "
+            f"{min_support * 100:.2g}% support, {machine.name})"
+        ),
+        x_label="processors",
+        y_label="response time (simulated seconds)",
+        notes=[
+            f"paper: 50K tx/processor, 0.1% support; here "
+            f"{tx_per_processor} tx/processor, {min_support * 100:.2g}% "
+            "support (proportional scale-down)",
+            f"DD variants capped at {dd_max_processors} processors, "
+            "as in the paper's figure",
+        ],
+    )
+    for num_processors in processor_counts:
+        db = generate(
+            t15_i6(
+                tx_per_processor * num_processors,
+                seed=seed,
+                num_items=num_items,
+            )
+        )
+        runs = []
+        for algorithm in _ALGORITHMS:
+            dd_like = algorithm.startswith("DD")
+            if dd_like and num_processors > dd_max_processors:
+                continue
+            kwargs = {"max_k": max_k}
+            if algorithm == "HD":
+                kwargs["switch_threshold"] = switch_threshold
+            run = mine_parallel(
+                algorithm,
+                db,
+                min_support,
+                num_processors,
+                machine=machine,
+                **kwargs,
+            )
+            runs.append(run)
+            result.add_point(algorithm, num_processors, run.total_time)
+            result.extras[(algorithm, num_processors, "idle")] = (
+                run.breakdown.get("idle", 0.0)
+            )
+        check_all_equal(runs, context=f"figure10 P={num_processors}")
+    return result

@@ -1,0 +1,84 @@
+"""Figure 14 — runtime vs number of transactions on the Cray T3E.
+
+Paper setting: P = 64, M = 0.7M candidates, N swept from 1.3M to 26.1M,
+pass-3 time only; HD on an 8x8 grid.
+
+Expected shape: CD and HD scale linearly (near-parallel straight lines)
+with HD below CD; IDD sits above both with a growing absolute gap, its
+overhead dominated by load imbalance (the paper measures the data
+movement at only 6-7% of IDD's runtime across the sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..data.corpus import t15_i6
+from ..data.quest import generate
+from ..parallel.runner import mine_parallel
+from .common import ExperimentResult, check_all_equal
+
+__all__ = ["run_figure14"]
+
+
+def run_figure14(
+    transaction_counts: Sequence[int] = (1600, 3200, 6400, 12800, 19200),
+    min_support: float = 0.012,
+    num_processors: int = 64,
+    switch_threshold: int = 500,
+    machine: MachineSpec = CRAY_T3E,
+    num_items: int = 1000,
+    seed: int = 14,
+) -> ExperimentResult:
+    """Reproduce the Figure 14 transaction-count sweep (pass-3 time only).
+
+    The fractional support is held fixed, which keeps the candidate-set
+    size roughly constant as N grows (the paper holds M = 0.7M).
+
+    Args:
+        transaction_counts: the N sweep (paper: 1.3M..26.1M).
+        min_support: fixed fractional support.
+        num_processors: P (paper: 64).
+        switch_threshold: HD's m.
+        machine: cost model.
+        num_items: synthetic item universe.
+        seed: workload seed.
+    """
+    result = ExperimentResult(
+        name="figure14",
+        title=(
+            f"Runtime (pass 3) vs transactions, P={num_processors}, "
+            f"{machine.name}"
+        ),
+        x_label="transactions",
+        y_label="pass-3 response time (simulated seconds)",
+        notes=[
+            "paper: N=1.3M..26.1M with M=0.7M, P=64; here N="
+            f"{transaction_counts[0]}..{transaction_counts[-1]} at fixed "
+            f"{min_support * 100:.2g}% support",
+        ],
+    )
+    for num_transactions in transaction_counts:
+        db = generate(
+            t15_i6(num_transactions, seed=seed, num_items=num_items)
+        )
+        runs = []
+        for algorithm in ("CD", "IDD", "HD"):
+            kwargs = {"max_k": 3}
+            if algorithm == "HD":
+                kwargs["switch_threshold"] = switch_threshold
+            run = mine_parallel(
+                algorithm,
+                db,
+                min_support,
+                num_processors,
+                machine=machine,
+                **kwargs,
+            )
+            runs.append(run)
+            result.add_point(
+                algorithm, num_transactions, run.pass_time(3)
+            )
+        check_all_equal(runs, context=f"figure14 N={num_transactions}")
+    return result

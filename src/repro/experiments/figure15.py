@@ -1,0 +1,103 @@
+"""Figure 15 — runtime vs number of candidates on the Cray T3E.
+
+Paper setting: P = 64, N = 1.3M, M swept from 0.7M to 8.0M by lowering
+the minimum support; pass-3 time only.  The T3E's memory held exactly
+0.7M candidates, so CD partitions its hash tree and repeats the subset
+computation beyond that (no I/O charged — the T3E runs simulated I/O).
+HD's grids went 8x8 → 16x4 → 32x2 → 64x1 across the sweep, collapsing
+onto IDD once G = P.
+
+Expected shape: CD grows ~O(M) and its gap to HD widens with M; IDD
+starts *worse* than CD at small M (too little work per processor) and
+overtakes it as M grows; HD tracks the better of the two everywhere and
+equals IDD exactly at the largest M values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..data.corpus import t15_i6
+from ..data.quest import generate
+from ..parallel.runner import mine_parallel
+from .common import ExperimentResult, check_all_equal
+
+__all__ = ["run_figure15"]
+
+
+def run_figure15(
+    num_transactions: int = 3200,
+    support_sweep: Sequence[float] = (0.012, 0.008, 0.006, 0.004, 0.003),
+    num_processors: int = 64,
+    memory_candidates: int = 2000,
+    switch_threshold: int = 250,
+    machine: MachineSpec = CRAY_T3E,
+    num_items: int = 1000,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Reproduce the Figure 15 candidate-count sweep (pass-3 time only).
+
+    Args:
+        num_transactions: N, fixed (paper: 1.3M).
+        support_sweep: descending supports; lowering support grows the
+            pass-3 candidate set (the x-axis).
+        num_processors: P (paper: 64).
+        memory_candidates: per-processor tree capacity, sized so the
+            smallest sweep point fits and larger ones force CD to
+            partition (paper: 0.7M).
+        switch_threshold: HD's m, sized so the HD grid walks from a
+            CD-leaning configuration to G = P across the sweep.
+        machine: cost model (I/O free, as in the paper's T3E runs).
+        num_items: synthetic item universe.
+        seed: workload seed.
+    """
+    spec = machine.with_memory(memory_candidates)
+    db = generate(
+        t15_i6(num_transactions, seed=seed, num_items=num_items)
+    )
+    result = ExperimentResult(
+        name="figure15",
+        title=(
+            f"Runtime (pass 3) vs pass-3 candidates, P={num_processors}, "
+            f"N={num_transactions}, {machine.name}"
+        ),
+        x_label="pass-3 candidates",
+        y_label="pass-3 response time (simulated seconds)",
+        notes=[
+            "paper: M=0.7M..8.0M with N=1.3M, P=64, memory=0.7M "
+            f"candidates; here capacity={memory_candidates} per processor",
+            "HD grid per sweep point recorded in extras "
+            "(collapses onto IDD once G = P)",
+        ],
+    )
+    for min_support in support_sweep:
+        runs = []
+        pass3_candidates = None
+        for algorithm in ("CD", "IDD", "HD"):
+            kwargs = {"max_k": 3}
+            if algorithm == "HD":
+                kwargs["switch_threshold"] = switch_threshold
+            run = mine_parallel(
+                algorithm,
+                db,
+                min_support,
+                num_processors,
+                machine=spec,
+                **kwargs,
+            )
+            runs.append(run)
+            pass3 = next(p for p in run.passes if p.k == 3)
+            if pass3_candidates is None:
+                pass3_candidates = pass3.num_candidates
+            result.add_point(
+                algorithm, pass3_candidates, run.pass_time(3)
+            )
+            result.extras[(algorithm, pass3_candidates, "grid_rows")] = (
+                pass3.grid[0]
+            )
+            result.extras[(algorithm, pass3_candidates, "scans")] = (
+                pass3.tree_partitions
+            )
+        check_all_equal(runs, context=f"figure15 support={min_support}")
+    return result

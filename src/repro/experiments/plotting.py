@@ -1,0 +1,131 @@
+"""ASCII rendering of experiment results as line charts.
+
+The paper's evaluation is a set of x-y figures; tables alone make shape
+comparisons (crossovers, divergence, flatness) hard to eyeball.  This
+module renders an :class:`~repro.experiments.common.ExperimentResult`
+as a terminal line chart — one glyph per series, points plotted on a
+character grid with axis scales — so `repro-mine experiment figure10
+--chart` visually resembles Figure 10.
+
+Rendering is pure string manipulation (no plotting dependencies) and is
+deterministic, so charts are testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .common import ExperimentResult
+
+__all__ = ["render_chart", "SERIES_GLYPHS"]
+
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    """Map ``value`` in [low, high] onto a cell index in [0, cells-1]."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(fraction * (cells - 1))))
+
+
+def render_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 20,
+    logx: bool = False,
+    series_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the result's series as an ASCII line chart.
+
+    Args:
+        result: the experiment result to draw.
+        width: plot-area width in characters.
+        height: plot-area height in rows.
+        logx: plot x on a log scale (useful for processor-count sweeps).
+        series_names: subset/order of series to draw; default all.
+
+    Returns:
+        A multi-line string: title, chart with y-axis labels, x-axis
+        ticks, and a legend.
+
+    Raises:
+        ValueError: if there is nothing to plot or dimensions are tiny.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    names = list(series_names) if series_names else list(result.series)
+    if not names or not result.x_values:
+        raise ValueError("result has no plottable series")
+    for name in names:
+        if name not in result.series:
+            raise ValueError(f"unknown series {name!r}")
+
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name in names:
+        series = sorted(result.series[name].items())
+        points[name] = series
+        all_x.extend(x for x, _ in series)
+        all_y.extend(y for _, y in series)
+
+    def x_transform(x: float) -> float:
+        return math.log(x) if logx and x > 0 else x
+
+    x_low = min(x_transform(x) for x in all_x)
+    x_high = max(x_transform(x) for x in all_x)
+    y_low = min(0.0, min(all_y))
+    y_high = max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        cells: List[Tuple[int, int]] = []
+        for x, y in points[name]:
+            column = _scale(x_transform(x), x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            cells.append((row, column))
+        # Connect consecutive points with interpolated cells so trends
+        # read as lines, then overdraw the data points themselves.
+        for (r0, c0), (r1, c1) in zip(cells, cells[1:]):
+            steps = max(abs(r1 - r0), abs(c1 - c0))
+            for step in range(1, steps):
+                r = round(r0 + (r1 - r0) * step / steps)
+                c = round(c0 + (c1 - c0) * step / steps)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for r, c in cells:
+            grid[r][c] = glyph
+
+    lines = [f"{result.name}: {result.title}"]
+    label_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:9.3g} "
+        elif row_index == height - 1:
+            label = f"{y_low:9.3g} "
+        else:
+            label = " " * label_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_left = f"{min(all_x):g}"
+    x_right = f"{max(all_x):g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 1) + x_left + " " * max(1, padding) + x_right
+    )
+    axis_note = f" ({result.x_label}, log scale)" if logx else f" ({result.x_label})"
+    lines.append(" " * (label_width + 1) + axis_note)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(names)
+    )
+    lines.append(f"legend: {legend}   (y = {result.y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Registry mapping experiment ids to runner functions.
+
+Used by the CLI (``python -m repro experiment <id>``) and by the
+benchmark harness, which iterates the full set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .ablations import (
+    run_ablation_bitmap,
+    run_ablation_candgen,
+    run_ablation_hashtree,
+    run_ablation_hd_threshold,
+    run_ablation_overlap,
+    run_ablation_partition,
+)
+from .common import ExperimentResult
+from .figure10 import run_figure10
+from .figure11 import run_figure11
+from .figure12 import run_figure12
+from .figure13 import run_figure13
+from .figure14 import run_figure14
+from .figure15 import run_figure15
+from .hpa_comm import run_hpa_comm
+from .imbalance import run_imbalance
+from .table2 import run_table2
+from .topology import run_topology
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure10": run_figure10,
+    "figure11": run_figure11,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "figure14": run_figure14,
+    "figure15": run_figure15,
+    "table2": run_table2,
+    "imbalance": run_imbalance,
+    "hpa_comm": run_hpa_comm,
+    "ablation_hashtree": run_ablation_hashtree,
+    "ablation_partition": run_ablation_partition,
+    "ablation_bitmap": run_ablation_bitmap,
+    "ablation_hd_threshold": run_ablation_hd_threshold,
+    "ablation_overlap": run_ablation_overlap,
+    "ablation_candgen": run_ablation_candgen,
+    "topology": run_topology,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id; ``kwargs`` override its parameters.
+
+    Raises:
+        KeyError: for an unknown experiment id.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of: {known}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,31 @@
+"""Parallel Apriori formulations: CD, DD (+comm), IDD and HD."""
+
+from .base import MiningResult, ParallelMiner, ParallelPassStats
+from .count_distribution import CountDistribution
+from .data_distribution import DataDistribution
+from .hpa import HashPartitionedApriori, hpa_owner
+from .hybrid import HybridDistribution, choose_grid
+from .intelligent_dd import IntelligentDataDistribution
+from .native import NativeCountDistribution
+from .rules import ParallelRuleResult, generate_rules_parallel
+from .runner import ALGORITHMS, compare_with_serial, make_miner, mine_parallel
+
+__all__ = [
+    "ALGORITHMS",
+    "CountDistribution",
+    "DataDistribution",
+    "HashPartitionedApriori",
+    "HybridDistribution",
+    "IntelligentDataDistribution",
+    "MiningResult",
+    "NativeCountDistribution",
+    "ParallelMiner",
+    "ParallelPassStats",
+    "ParallelRuleResult",
+    "choose_grid",
+    "compare_with_serial",
+    "generate_rules_parallel",
+    "hpa_owner",
+    "make_miner",
+    "mine_parallel",
+]

@@ -1,0 +1,205 @@
+"""Hybrid Distribution (HD) — the paper's second contribution
+(Section III-D, Figure 9, Table II).
+
+The P processors are viewed as a G x (P/G) grid:
+
+* the candidate set is partitioned (IDD-style, by first item with bin
+  packing) among the **G rows** — processors in a row hold identical
+  candidates;
+* the transactions are partitioned among all P processors; each of the
+  **P/G columns** acts as one "hypothetical processor" of a CD run.
+
+A pass is then: (1) IDD inside every column — the column's G blocks
+shift around a G-ring while each processor counts its row's candidates
+under its row's bitmap; (2) an all-reduce along each *row* sums the
+counts of that row's candidates across columns; (3) each processor
+filters its row's frequent item-sets, and an all-to-all broadcast along
+each *column* reassembles the full Fk everywhere.
+
+G is chosen dynamically per pass: the smallest divisor of P with
+G >= ceil(M / m) for the user threshold ``m`` — G = 1 degenerates to CD
+(all candidates everywhere, no shifting), G = P degenerates to IDD.
+Table II shows exactly this schedule for P = 64, m = 50K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.cluster import VirtualCluster
+from ..cluster.machine import subset_time
+from ..core.hashtree import HashTree, HashTreeStats
+from ..core.items import Itemset
+from ..core.partition import partition_by_first_item
+from ..core.transaction import TransactionDB
+from .base import ParallelMiner, ParallelPassStats
+
+__all__ = ["HybridDistribution", "choose_grid"]
+
+
+def choose_grid(
+    num_candidates: int, threshold: int, num_processors: int
+) -> int:
+    """Pick G, the number of candidate partitions (grid rows), for a pass.
+
+    Section III-D: "If the total number of candidates M is less than m,
+    then the HD algorithm makes G equal to 1 ... Otherwise G is set to
+    ceil(M/m)", rounded up to a divisor of P and clamped to P so the
+    grid tiles the machine exactly (Table II's configurations are all
+    divisor pairs of 64).
+
+    Args:
+        num_candidates: M for the pass.
+        threshold: m, the minimum candidate count worth a processor group.
+        num_processors: P.
+
+    Returns:
+        G, a divisor of ``num_processors`` in [1, P].
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if num_processors < 1:
+        raise ValueError(
+            f"num_processors must be >= 1, got {num_processors}"
+        )
+    if num_candidates <= threshold:
+        return 1
+    target = -(-num_candidates // threshold)  # ceil division
+    for g in range(1, num_processors + 1):
+        if num_processors % g == 0 and g >= target:
+            return g
+    return num_processors
+
+
+class HybridDistribution(ParallelMiner):
+    """The HD parallel formulation.
+
+    Args:
+        switch_threshold: the paper's ``m`` — minimum number of
+            candidates that justifies splitting the candidate set one
+            more way.  The paper uses m = 50K at full scale; scaled-down
+            experiments use proportionally smaller values.
+        refine_threshold: second-item refinement for the row partitioner
+            (as in IDD).
+        **kwargs: see :class:`ParallelMiner`.
+    """
+
+    name = "HD"
+
+    def __init__(
+        self,
+        *args,
+        switch_threshold: int = 50_000,
+        refine_threshold: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if switch_threshold <= 0:
+            raise ValueError(
+                f"switch_threshold must be positive, got {switch_threshold}"
+            )
+        self.switch_threshold = switch_threshold
+        self.refine_threshold = refine_threshold
+
+    def _run_pass(
+        self,
+        cluster: VirtualCluster,
+        k: int,
+        candidates: Sequence[Itemset],
+        local_parts: Sequence[TransactionDB],
+        min_count: int,
+    ) -> Tuple[Dict[Itemset, int], ParallelPassStats]:
+        spec = self.machine
+        num_processors = self.num_processors
+
+        rows = choose_grid(
+            len(candidates), self.switch_threshold, num_processors
+        )
+        cols = num_processors // rows
+        # Processor (r, c) is pid = r * cols + c; column c therefore owns
+        # blocks {r * cols + c : r in rows}, i.e. N/P transactions per
+        # processor as the paper prescribes.
+
+        partition = partition_by_first_item(
+            candidates, rows, refine_threshold=self.refine_threshold
+        )
+        assert partition.filters is not None
+
+        # One physical tree per row stands in for that row's `cols`
+        # replicas; after all columns stream their blocks through it, its
+        # counts equal the row's post-reduction global counts.
+        row_trees: List[HashTree] = []
+        for row, owned in enumerate(partition.assignments):
+            tree = HashTree(
+                k, branching=self.branching, leaf_capacity=self.leaf_capacity
+            )
+            tree.insert_all(owned)
+            build_time = len(owned) * spec.t_insert
+            for col in range(cols):
+                cluster.advance(row * cols + col, build_time, "tree_build")
+            row_trees.append(tree)
+
+        if self.charge_io:
+            for pid, part in enumerate(local_parts):
+                cluster.charge_io(pid, part.size_in_bytes(spec.bytes_per_item))
+
+        block_bytes = self._mean_block_bytes(local_parts)
+        subset_total = HashTreeStats()
+
+        # Step 1: IDD within every column (G-step ring shift of the
+        # column's blocks).  With G = 1 the single row owns every
+        # candidate and the pass degenerates to CD exactly, bitmap
+        # included (the paper: "G equal to 1 ... means that the CD
+        # algorithm is run on all the processors").
+        for col in range(cols):
+            column_pids = [row * cols + col for row in range(rows)]
+            for step in range(rows):
+                compute: Dict[int, float] = {}
+                for row in range(rows):
+                    pid = column_pids[row]
+                    source_row = (row - step) % rows
+                    block = local_parts[column_pids[source_row]]
+                    tree = row_trees[row]
+                    root_filter = partition.filters[row] if rows > 1 else None
+                    before = tree.stats.snapshot()
+                    tree.count_database(block, root_filter=root_filter)
+                    delta = tree.stats.delta_since(before)
+                    compute[pid] = subset_time(delta, spec)
+                    subset_total = subset_total.merged_with(delta)
+                moves_data = step < rows - 1
+                cluster.overlapped_step(
+                    compute, block_bytes if moves_data else 0.0
+                )
+
+        # Step 2: reduction along the rows (cols processors per group).
+        for row in range(rows):
+            row_pids = [row * cols + col for col in range(cols)]
+            row_candidates = len(partition.assignments[row])
+            cluster.all_reduce(
+                row_candidates * spec.bytes_per_count,
+                pids=row_pids,
+                combine_ops=row_candidates,
+            )
+
+        # Step 3: frequent filtering per row, then all-to-all broadcast
+        # along the columns so every processor holds the full Fk.
+        frequent_k: Dict[Itemset, int] = {}
+        for tree in row_trees:
+            frequent_k.update(tree.frequent(min_count))
+
+        frequent_bytes = self._frequent_set_bytes(len(frequent_k), k) / max(
+            1, rows
+        )
+        for col in range(cols):
+            column_pids = [row * cols + col for row in range(rows)]
+            cluster.all_to_all_broadcast(frequent_bytes, pids=column_pids)
+
+        stats = ParallelPassStats(
+            k=k,
+            num_candidates=len(candidates),
+            num_frequent=len(frequent_k),
+            grid=(rows, cols),
+            candidate_imbalance=partition.load_imbalance(),
+            subset_stats=subset_total,
+        )
+        return frequent_k, stats

@@ -1,0 +1,122 @@
+"""Uniform entry point over the parallel formulations.
+
+``mine_parallel`` builds the requested miner by name; ``compare_with_serial``
+asserts the paper's baseline invariant — every parallel formulation
+computes *exactly* the frequent item-sets (with identical counts) of the
+serial Apriori algorithm — and is called by tests and by every
+experiment before timings are trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..cluster.machine import CRAY_T3E, MachineSpec
+from ..core.apriori import Apriori, AprioriResult
+from ..core.transaction import TransactionDB
+from .base import MiningResult, ParallelMiner
+from .count_distribution import CountDistribution
+from .data_distribution import DataDistribution
+from .hpa import HashPartitionedApriori
+from .hybrid import HybridDistribution
+from .intelligent_dd import IntelligentDataDistribution
+
+__all__ = ["ALGORITHMS", "make_miner", "mine_parallel", "compare_with_serial"]
+
+
+def _make_dd_comm(*args, **kwargs) -> DataDistribution:
+    return DataDistribution(*args, comm_scheme="ring", **kwargs)
+
+
+ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
+    "CD": CountDistribution,
+    "DD": DataDistribution,
+    "DD+comm": _make_dd_comm,
+    "IDD": IntelligentDataDistribution,
+    "HD": HybridDistribution,
+    "HPA": HashPartitionedApriori,
+}
+
+
+def make_miner(
+    algorithm: str,
+    min_support: float,
+    num_processors: int,
+    machine: MachineSpec = CRAY_T3E,
+    **kwargs,
+) -> ParallelMiner:
+    """Instantiate a parallel miner by algorithm name.
+
+    Args:
+        algorithm: one of ``CD``, ``DD``, ``DD+comm``, ``IDD``, ``HD``.
+        min_support: fractional minimum support.
+        num_processors: P.
+        machine: cost model.
+        **kwargs: forwarded to the formulation's constructor (e.g.
+            ``switch_threshold`` for HD, ``max_k``, ``charge_io``).
+
+    Raises:
+        KeyError: for an unknown algorithm name.
+    """
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; expected one of: {known}"
+        ) from None
+    return factory(min_support, num_processors, machine=machine, **kwargs)
+
+
+def mine_parallel(
+    algorithm: str,
+    db: TransactionDB,
+    min_support: float,
+    num_processors: int,
+    machine: MachineSpec = CRAY_T3E,
+    **kwargs,
+) -> MiningResult:
+    """One-shot: build a miner by name and run it on ``db``."""
+    miner = make_miner(
+        algorithm, min_support, num_processors, machine=machine, **kwargs
+    )
+    return miner.mine(db)
+
+
+def compare_with_serial(
+    parallel_result: MiningResult,
+    db: TransactionDB,
+    serial_result: Optional[AprioriResult] = None,
+) -> AprioriResult:
+    """Check a parallel result against serial Apriori; return the serial run.
+
+    Raises:
+        AssertionError: if the frequent item-sets or any support count
+            differ — which would mean a formulation bug, never a
+            tolerable approximation.
+    """
+    if serial_result is None:
+        serial = Apriori(
+            parallel_result.min_support,
+            max_k=_max_k_of(parallel_result),
+        )
+        serial_result = serial.mine(db)
+    if parallel_result.frequent != serial_result.frequent:
+        missing = set(serial_result.frequent) - set(parallel_result.frequent)
+        extra = set(parallel_result.frequent) - set(serial_result.frequent)
+        raise AssertionError(
+            f"{parallel_result.algorithm} diverged from serial Apriori: "
+            f"{len(missing)} missing, {len(extra)} extra item-sets"
+        )
+    return serial_result
+
+
+def _max_k_of(result: MiningResult) -> Optional[int]:
+    """Infer the pass cap a parallel run used, for a fair serial rerun."""
+    if not result.passes:
+        return None
+    last = result.passes[-1]
+    # If the last pass still found frequent item-sets, the run may have
+    # been capped; rerun serial with the same cap to compare like with
+    # like.  A run that ended naturally needs no cap.
+    return last.k if last.num_frequent > 0 else None

@@ -1,0 +1,114 @@
+"""Tests for the V(i, j) distinct-leaf-visit model (Equations 1-2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.leafvisits import (
+    dd_checking_ratio,
+    expected_leaf_visits,
+    expected_leaf_visits_limit,
+    monte_carlo_leaf_visits,
+)
+
+
+class TestClosedForm:
+    def test_base_case_one_probe(self):
+        """V(1, j) = 1 for any j (Equation 1's base case)."""
+        for j in (1, 2, 10, 1000):
+            assert expected_leaf_visits(1, j) == pytest.approx(1.0)
+
+    def test_single_leaf_tree(self):
+        """V(i, 1) = 1: every probe hits the only leaf."""
+        for i in (1, 5, 100):
+            assert expected_leaf_visits(i, 1) == pytest.approx(1.0)
+
+    def test_zero_probes(self):
+        assert expected_leaf_visits(0, 10) == 0.0
+
+    def test_rejects_negative_probes(self):
+        with pytest.raises(ValueError):
+            expected_leaf_visits(-1, 10)
+
+    def test_exact_small_case(self):
+        """V(2, 2) = (2^2 - 1^2) / 2^1 = 1.5."""
+        assert expected_leaf_visits(2, 2) == pytest.approx(1.5)
+
+    def test_recurrence(self):
+        """V(i, j) = 1 + (j-1)/j * V(i-1, j) (the paper's derivation)."""
+        for j in (3, 7, 50):
+            for i in range(2, 8):
+                recurrence = 1 + (j - 1) / j * expected_leaf_visits(i - 1, j)
+                assert expected_leaf_visits(i, j) == pytest.approx(recurrence)
+
+    def test_limit_equals_probe_count(self):
+        """Equation 2: V(i, j) -> i as j -> infinity."""
+        for i in (1, 10, 455):
+            assert expected_leaf_visits(i, 10**12) == pytest.approx(
+                expected_leaf_visits_limit(i), rel=1e-6
+            )
+
+    def test_monotone_in_probes(self):
+        values = [expected_leaf_visits(i, 100) for i in range(1, 20)]
+        assert values == sorted(values)
+
+    def test_monotone_in_leaves(self):
+        values = [expected_leaf_visits(50, j) for j in (1, 5, 20, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_never_exceeds_either_bound(self):
+        for i in (1, 7, 100):
+            for j in (1, 10, 200):
+                v = expected_leaf_visits(i, j)
+                assert v <= i + 1e-9
+                assert v <= j + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 500))
+    def test_matches_explicit_formula(self, i, j):
+        """Cross-check the stable form against the paper's literal formula."""
+        literal = (j**i - (j - 1) ** i) / j ** (i - 1)
+        assert expected_leaf_visits(i, j) == pytest.approx(literal, rel=1e-9)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_closed_form(self):
+        for i, j in ((5, 10), (20, 8), (50, 100)):
+            estimate = monte_carlo_leaf_visits(i, j, trials=4000, seed=1)
+            exact = expected_leaf_visits(i, j)
+            assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            monte_carlo_leaf_visits(-1, 5)
+        with pytest.raises(ValueError):
+            monte_carlo_leaf_visits(5, 0)
+        with pytest.raises(ValueError):
+            monte_carlo_leaf_visits(5, 5, trials=0)
+
+    def test_deterministic_under_seed(self):
+        a = monte_carlo_leaf_visits(10, 10, trials=100, seed=7)
+        b = monte_carlo_leaf_visits(10, 10, trials=100, seed=7)
+        assert a == b
+
+
+class TestDDCheckingRatio:
+    def test_no_redundancy_at_one_processor(self):
+        assert dd_checking_ratio(100, 1000, 1) == pytest.approx(1.0)
+
+    def test_redundancy_grows_with_processors(self):
+        ratios = [dd_checking_ratio(455, 2000, p) for p in (1, 2, 4, 8, 16)]
+        assert ratios == sorted(ratios)
+
+    def test_approaches_p_for_large_trees(self):
+        """Section IV: when L is very large, V(C, L/P) ~ C and
+        V(C, L)/P ~ C/P, so the ratio approaches P."""
+        ratio = dd_checking_ratio(100, 10**9, 8)
+        assert ratio == pytest.approx(8.0, rel=1e-3)
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            dd_checking_ratio(10, 10, 0)
+
+    def test_zero_probes_is_neutral(self):
+        assert dd_checking_ratio(0, 100, 4) == 1.0

@@ -1,0 +1,138 @@
+"""Tests for the Section IV cost equations (3-7) and Equation 8."""
+
+import pytest
+
+from repro.analysis.model import PassModel, hd_beneficial_range
+from repro.cluster.machine import CRAY_T3E
+
+
+def model(**overrides):
+    base = dict(
+        num_transactions=100_000,
+        num_candidates=50_000,
+        avg_transaction_length=15,
+        k=3,
+        leaf_size=16.0,
+        avg_transaction_bytes=64.0,
+    )
+    base.update(overrides)
+    return PassModel(**base)
+
+
+class TestPassModel:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            model(k=0)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            model(num_transactions=0)
+        with pytest.raises(ValueError):
+            model(num_candidates=-5)
+
+    def test_potential_candidates_is_binomial(self):
+        assert model(k=2).potential_candidates == 105  # C(15, 2)
+        assert model(k=3).potential_candidates == 455  # C(15, 3)
+
+    def test_short_transactions_have_no_candidates(self):
+        assert model(avg_transaction_length=2, k=3).potential_candidates == 0
+
+    def test_num_leaves(self):
+        assert model().num_leaves == pytest.approx(50_000 / 16.0)
+
+
+class TestEquationShapes:
+    def test_cd_equals_serial_at_one_processor_up_to_reduction(self):
+        m = model()
+        assert m.cd_time(CRAY_T3E, 1) == pytest.approx(
+            m.serial_time(CRAY_T3E)
+        )
+
+    def test_cd_subset_scales_down_but_build_does_not(self):
+        """Equation 4: the O(M) term survives any P (CD's bottleneck)."""
+        m = model()
+        floor = m.num_candidates * CRAY_T3E.t_insert
+        assert m.cd_time(CRAY_T3E, 10**6) > floor
+
+    def test_dd_does_not_reduce_traversal(self):
+        """Equation 5: DD's traversal cost is N*C*t_travers at any P."""
+        m = model()
+        traversal = (
+            m.num_transactions * m.potential_candidates * CRAY_T3E.t_travers
+        )
+        for p in (2, 8, 64):
+            assert m.dd_time(CRAY_T3E, p) >= traversal
+
+    def test_dd_slower_than_cd_for_large_n(self):
+        m = model(num_transactions=10**7, num_candidates=10**5)
+        for p in (4, 16, 64):
+            assert m.dd_time(CRAY_T3E, p) > m.cd_time(CRAY_T3E, p)
+
+    def test_idd_faster_than_dd(self):
+        m = model()
+        for p in (2, 8, 32):
+            assert m.idd_time(CRAY_T3E, p) < m.dd_time(CRAY_T3E, p)
+
+    def test_idd_beats_cd_when_m_dominates(self):
+        """Figure 15's crossover: IDD wins at large M, loses at small M."""
+        small_m = model(num_candidates=2_000, num_transactions=10**6)
+        large_m = model(num_candidates=5 * 10**6, num_transactions=10**5)
+        p = 64
+        assert small_m.idd_time(CRAY_T3E, p) > small_m.cd_time(CRAY_T3E, p)
+        assert large_m.idd_time(CRAY_T3E, p) < large_m.cd_time(CRAY_T3E, p)
+
+    def test_hd_interpolates_cd_and_idd(self):
+        m = model()
+        p = 64
+        hd_as_cd = m.hd_time(CRAY_T3E, p, 1)
+        hd_as_idd = m.hd_time(CRAY_T3E, p, p)
+        best_mid = min(m.hd_time(CRAY_T3E, p, g) for g in (2, 4, 8, 16, 32))
+        assert best_mid <= max(hd_as_cd, hd_as_idd)
+
+    def test_hd_g1_close_to_cd(self):
+        m = model()
+        assert m.hd_time(CRAY_T3E, 64, 1) == pytest.approx(
+            m.cd_time(CRAY_T3E, 64), rel=0.25
+        )
+
+    def test_hd_rejects_non_divisor_groups(self):
+        with pytest.raises(ValueError):
+            model().hd_time(CRAY_T3E, 64, 3)
+
+    def test_all_times_positive(self):
+        m = model()
+        assert m.serial_time(CRAY_T3E) > 0
+        for p in (1, 2, 64):
+            assert m.cd_time(CRAY_T3E, p) > 0
+            assert m.dd_time(CRAY_T3E, p) > 0
+            assert m.idd_time(CRAY_T3E, p) > 0
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            model().cd_time(CRAY_T3E, 0)
+
+
+class TestEquation8:
+    def test_range_bounds(self):
+        low, high = hd_beneficial_range(10**6, 10**5, 64)
+        assert low == 1.0
+        assert high == pytest.approx(10**5 * 64 / 10**6)
+
+    def test_large_m_widens_range(self):
+        _, narrow = hd_beneficial_range(10**6, 10**4, 64)
+        _, wide = hd_beneficial_range(10**6, 10**6, 64)
+        assert wide > narrow
+
+    def test_large_n_closes_range(self):
+        """When N >> M*P the upper bound drops below 1: HD should pick
+        G = 1 and become CD (the paper's closing remark on Eq. 8)."""
+        _, high = hd_beneficial_range(10**9, 10**4, 16)
+        assert high < 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            hd_beneficial_range(0, 10, 4)
+        with pytest.raises(ValueError):
+            hd_beneficial_range(10, 0, 4)
+        with pytest.raises(ValueError):
+            hd_beneficial_range(10, 10, 0)

@@ -1,0 +1,55 @@
+"""Tests for scalability metrics."""
+
+import pytest
+
+from repro.analysis.scalability import (
+    efficiency,
+    scaleup_degradation,
+    speedup,
+    speedup_series,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestEfficiency:
+    def test_perfect(self):
+        assert efficiency(100.0, 25.0, 4) == pytest.approx(1.0)
+
+    def test_sublinear(self):
+        assert efficiency(100.0, 50.0, 4) == pytest.approx(0.5)
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            efficiency(1.0, 1.0, 0)
+
+
+class TestSpeedupSeries:
+    def test_maps_pairs(self):
+        series = speedup_series(100.0, [(2, 60.0), (4, 30.0)])
+        assert series == [(2, pytest.approx(100 / 60)), (4, pytest.approx(100 / 30))]
+
+
+class TestScaleupDegradation:
+    def test_normalizes_by_smallest_p(self):
+        degradation = scaleup_degradation([(8, 12.0), (2, 10.0), (4, 11.0)])
+        assert degradation[2] == pytest.approx(1.0)
+        assert degradation[4] == pytest.approx(1.1)
+        assert degradation[8] == pytest.approx(1.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            scaleup_degradation([])
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            scaleup_degradation([(2, 0.0)])

@@ -1,0 +1,65 @@
+"""Tests for model-vs-simulation validation."""
+
+import pytest
+
+from repro.analysis.validation import ValidationReport, validate_pass_model
+from repro.data.corpus import t15_i6
+from repro.data.quest import generate
+
+
+@pytest.fixture(scope="module")
+def report():
+    db = generate(t15_i6(800, seed=13, num_items=1000))
+    return validate_pass_model(db, 0.01, k=3, num_processors=8)
+
+
+class TestValidationReport:
+    def test_all_algorithms_present(self, report):
+        assert set(report.timings) == {"CD", "DD", "IDD", "HD"}
+
+    def test_all_times_positive(self, report):
+        for measured, predicted in report.timings.values():
+            assert measured > 0
+            assert predicted > 0
+
+    def test_orderings(self, report):
+        assert set(report.measured_order()) == set(report.timings)
+        assert set(report.predicted_order()) == set(report.timings)
+
+    def test_model_ranks_like_simulation(self, report):
+        """The Section IV claim: the model predicts who wins."""
+        assert report.agreement_pairs() >= 0.8
+
+    def test_dd_is_last_both_ways(self, report):
+        assert report.measured_order()[-1] == "DD"
+        assert report.predicted_order()[-1] == "DD"
+
+    def test_to_table_renders(self, report):
+        table = report.to_table()
+        assert "measured order" in table
+        assert "pairwise agreement" in table
+        for algorithm in report.timings:
+            assert algorithm in table
+
+    def test_workload_captured(self, report):
+        assert report.workload is not None
+        assert report.workload.k == 3
+        assert report.workload.num_transactions == 800
+
+
+class TestAgreementMetric:
+    def test_perfect_agreement(self):
+        report = ValidationReport(k=2, num_processors=2)
+        report.timings = {"A": (1.0, 10.0), "B": (2.0, 20.0)}
+        assert report.orders_agree()
+        assert report.agreement_pairs() == 1.0
+
+    def test_total_disagreement(self):
+        report = ValidationReport(k=2, num_processors=2)
+        report.timings = {"A": (1.0, 20.0), "B": (2.0, 10.0)}
+        assert not report.orders_agree()
+        assert report.agreement_pairs() == 0.0
+
+    def test_empty_report(self):
+        report = ValidationReport(k=2, num_processors=2)
+        assert report.agreement_pairs() == 1.0

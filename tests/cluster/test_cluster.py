@@ -1,0 +1,204 @@
+"""Tests for the virtual cluster's clocks, accounting and collectives."""
+
+import pytest
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.machine import MachineSpec
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="unit",
+        t_startup=1.0,
+        t_byte=0.5,
+        t_travers=0.0,
+        t_check=0.0,
+        t_leaf_visit=0.0,
+        t_item=0.0,
+        t_insert=0.0,
+        t_candgen=0.0,
+        t_reduce_op=2.0,
+        contention_per_processor=1.0,
+        async_overlap=True,
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestClocks:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(0, make_spec())
+
+    def test_advance_and_clock(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.advance(0, 5.0, "subset")
+        assert cluster.clock(0) == 5.0
+        assert cluster.clock(1) == 0.0
+        assert cluster.elapsed() == 5.0
+
+    def test_advance_rejects_negative(self):
+        cluster = VirtualCluster(1, make_spec())
+        with pytest.raises(ValueError):
+            cluster.advance(0, -1.0, "subset")
+
+    def test_bad_pid_raises(self):
+        cluster = VirtualCluster(2, make_spec())
+        with pytest.raises(ValueError):
+            cluster.clock(2)
+        with pytest.raises(ValueError):
+            cluster.advance(-1, 1.0, "x")
+
+    def test_clocks_copy(self):
+        cluster = VirtualCluster(2, make_spec())
+        clocks = cluster.clocks()
+        clocks[0] = 99.0
+        assert cluster.clock(0) == 0.0
+
+
+class TestSynchronize:
+    def test_barrier_books_idle(self):
+        cluster = VirtualCluster(3, make_spec())
+        cluster.advance(0, 10.0, "subset")
+        cluster.advance(1, 4.0, "subset")
+        latest = cluster.synchronize()
+        assert latest == 10.0
+        assert cluster.clock(1) == 10.0
+        assert cluster.breakdown(1)["idle"] == pytest.approx(6.0)
+        assert cluster.breakdown(2)["idle"] == pytest.approx(10.0)
+        assert "idle" not in cluster.breakdown(0)
+
+    def test_group_barrier_leaves_others_alone(self):
+        cluster = VirtualCluster(3, make_spec())
+        cluster.advance(0, 10.0, "subset")
+        cluster.synchronize([0, 1])
+        assert cluster.clock(1) == 10.0
+        assert cluster.clock(2) == 0.0
+
+    def test_empty_group_rejected(self):
+        cluster = VirtualCluster(2, make_spec())
+        with pytest.raises(ValueError):
+            cluster.synchronize([])
+
+
+class TestBreakdown:
+    def test_mean_over_processors(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.advance(0, 4.0, "subset")
+        cluster.advance(1, 2.0, "subset")
+        cluster.advance(1, 2.0, "comm")
+        mean = cluster.breakdown_mean()
+        assert mean["subset"] == pytest.approx(3.0)
+        assert mean["comm"] == pytest.approx(1.0)
+
+    def test_category_total(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.advance(0, 4.0, "io")
+        cluster.advance(1, 1.0, "io")
+        assert cluster.category_total("io") == pytest.approx(5.0)
+        assert cluster.category_total("missing") == 0.0
+
+
+class TestAllReduce:
+    def test_synchronizes_then_charges(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.advance(0, 10.0, "subset")
+        cluster.all_reduce(10, combine_ops=3)
+        # sync to 10, then 1 step * (1 + 10*0.5) = 6 comm + 1 step * 3 ops
+        # * 2.0 = 6 compute.
+        assert cluster.clock(0) == pytest.approx(22.0)
+        assert cluster.clock(1) == pytest.approx(22.0)
+        assert cluster.breakdown(1)["idle"] == pytest.approx(10.0)
+
+    def test_single_processor_noop_cost(self):
+        cluster = VirtualCluster(1, make_spec())
+        cluster.all_reduce(100, combine_ops=5)
+        assert cluster.clock(0) == 0.0
+
+
+class TestAllToAllBroadcast:
+    def test_ring_cost(self):
+        cluster = VirtualCluster(4, make_spec())
+        cluster.all_to_all_broadcast(10)
+        assert cluster.clock(0) == pytest.approx(18.0)
+
+    def test_naive_cost_higher(self):
+        ring = VirtualCluster(4, make_spec())
+        ring.all_to_all_broadcast(10)
+        naive = VirtualCluster(4, make_spec())
+        naive.all_to_all_broadcast(10, naive=True)
+        assert naive.clock(0) > ring.clock(0)
+
+    def test_subgroup_only(self):
+        cluster = VirtualCluster(4, make_spec())
+        cluster.all_to_all_broadcast(10, pids=[0, 1])
+        assert cluster.clock(0) > 0
+        assert cluster.clock(2) == 0.0
+
+
+class TestOverlappedStep:
+    def test_overlap_hides_comm_under_compute(self):
+        cluster = VirtualCluster(2, make_spec())
+        # comm = 1 + 10*0.5 = 6; compute 8 > 6, so comm fully hidden.
+        cluster.overlapped_step({0: 8.0, 1: 8.0}, 10)
+        assert cluster.clock(0) == pytest.approx(8.0)
+        assert "comm" not in cluster.breakdown(0)
+
+    def test_exposed_comm_when_compute_short(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.overlapped_step({0: 2.0, 1: 2.0}, 10)
+        assert cluster.clock(0) == pytest.approx(6.0)
+        assert cluster.breakdown(0)["comm"] == pytest.approx(4.0)
+
+    def test_no_overlap_serializes(self):
+        cluster = VirtualCluster(2, make_spec(async_overlap=False))
+        cluster.overlapped_step({0: 2.0, 1: 2.0}, 10)
+        assert cluster.clock(0) == pytest.approx(8.0)
+
+    def test_zero_bytes_means_no_comm(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.overlapped_step({0: 2.0, 1: 3.0}, 0)
+        assert cluster.clock(0) == pytest.approx(3.0)  # barrier to max
+        assert cluster.breakdown(0)["idle"] == pytest.approx(1.0)
+
+    def test_imbalance_becomes_idle(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.overlapped_step({0: 10.0, 1: 2.0}, 10)
+        assert cluster.clock(1) == pytest.approx(10.0)
+        assert cluster.breakdown(1)["idle"] == pytest.approx(4.0)
+
+    def test_without_barrier(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.overlapped_step({0: 10.0, 1: 2.0}, 0, synchronize=False)
+        assert cluster.clock(1) == pytest.approx(2.0)
+
+    def test_empty_group_rejected(self):
+        cluster = VirtualCluster(2, make_spec())
+        with pytest.raises(ValueError):
+            cluster.overlapped_step({}, 10)
+
+
+class TestBlockingExchange:
+    def test_compute_plus_comm(self):
+        cluster = VirtualCluster(2, make_spec())
+        cluster.blocking_exchange({0: 2.0, 1: 2.0}, 5.0)
+        assert cluster.clock(0) == pytest.approx(7.0)
+        assert cluster.breakdown(0)["comm"] == pytest.approx(5.0)
+
+    def test_empty_group_rejected(self):
+        cluster = VirtualCluster(2, make_spec())
+        with pytest.raises(ValueError):
+            cluster.blocking_exchange({}, 1.0)
+
+
+class TestChargeIO:
+    def test_io_time(self):
+        cluster = VirtualCluster(1, make_spec(io_bandwidth=100.0))
+        cluster.charge_io(0, 250.0)
+        assert cluster.clock(0) == pytest.approx(2.5)
+        assert cluster.breakdown(0)["io"] == pytest.approx(2.5)
+
+    def test_rejects_negative_bytes(self):
+        cluster = VirtualCluster(1, make_spec())
+        with pytest.raises(ValueError):
+            cluster.charge_io(0, -5)

@@ -1,0 +1,107 @@
+"""Property-based invariants of the virtual cluster."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.machine import CRAY_T3E
+
+
+# One random cluster operation: (kind, payload)
+operation = st.one_of(
+    st.tuples(
+        st.just("advance"),
+        st.integers(0, 3),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.sampled_from(["subset", "comm", "tree_build", "io"]),
+    ),
+    st.tuples(st.just("synchronize")),
+    st.tuples(
+        st.just("all_reduce"),
+        st.integers(0, 10_000),
+        st.integers(0, 100),
+    ),
+    st.tuples(
+        st.just("overlapped_step"),
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        ),
+        st.integers(0, 10_000),
+    ),
+)
+
+
+def apply_operation(cluster: VirtualCluster, op) -> None:
+    kind = op[0]
+    if kind == "advance":
+        _, pid, seconds, category = op
+        cluster.advance(pid, seconds, category)
+    elif kind == "synchronize":
+        cluster.synchronize()
+    elif kind == "all_reduce":
+        _, nbytes, combine = op
+        cluster.all_reduce(nbytes, combine_ops=combine)
+    else:
+        _, computes, nbytes = op
+        cluster.overlapped_step(
+            dict(enumerate(computes)), nbytes
+        )
+
+
+class TestClusterInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(operation, max_size=25))
+    def test_breakdown_sums_to_clock(self, operations):
+        """Every charged second lands in exactly one category."""
+        cluster = VirtualCluster(4, CRAY_T3E)
+        for op in operations:
+            apply_operation(cluster, op)
+        for pid in range(4):
+            total = sum(cluster.breakdown(pid).values())
+            assert total == pytest.approx(cluster.clock(pid), abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(operation, max_size=25))
+    def test_clocks_never_decrease(self, operations):
+        cluster = VirtualCluster(4, CRAY_T3E)
+        previous = cluster.clocks()
+        for op in operations:
+            apply_operation(cluster, op)
+            current = cluster.clocks()
+            for before, after in zip(previous, current):
+                assert after >= before - 1e-12
+            previous = current
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation, max_size=20))
+    def test_elapsed_is_max_clock(self, operations):
+        cluster = VirtualCluster(4, CRAY_T3E)
+        for op in operations:
+            apply_operation(cluster, op)
+        assert cluster.elapsed() == max(cluster.clocks())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation, max_size=20))
+    def test_synchronize_equalizes(self, operations):
+        cluster = VirtualCluster(4, CRAY_T3E)
+        for op in operations:
+            apply_operation(cluster, op)
+        cluster.synchronize()
+        clocks = cluster.clocks()
+        assert max(clocks) == pytest.approx(min(clocks))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(operation, max_size=20))
+    def test_trace_agrees_with_breakdown(self, operations):
+        from repro.cluster.trace import TimelineTrace
+
+        trace = TimelineTrace()
+        cluster = VirtualCluster(4, CRAY_T3E, trace=trace)
+        for op in operations:
+            apply_operation(cluster, op)
+        for pid in range(4):
+            traced = sum(s.duration for s in trace.for_processor(pid))
+            assert traced == pytest.approx(cluster.clock(pid), abs=1e-9)

@@ -1,0 +1,105 @@
+"""Tests for the collective-communication cost formulas."""
+
+import pytest
+
+from repro.cluster.collectives import (
+    all_reduce_time,
+    all_to_all_broadcast_naive_time,
+    all_to_all_broadcast_ring_time,
+    broadcast_time,
+    ring_shift_step_time,
+)
+from repro.cluster.machine import MachineSpec
+
+
+SPEC = MachineSpec(
+    name="unit",
+    t_startup=1.0,
+    t_byte=0.5,
+    t_travers=0.0,
+    t_check=0.0,
+    t_leaf_visit=0.0,
+    t_item=0.0,
+    t_insert=0.0,
+    t_candgen=0.0,
+    t_reduce_op=0.0,
+    contention_per_processor=1.0,
+)
+
+
+class TestRingShift:
+    def test_hand_computed(self):
+        # ts + m * tw = 1 + 10 * 0.5 = 6
+        assert ring_shift_step_time(10, SPEC) == pytest.approx(6.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            ring_shift_step_time(-1, SPEC)
+
+
+class TestRingAllToAll:
+    def test_hand_computed(self):
+        # (P-1) * (ts + m*tw) = 3 * 6 = 18
+        assert all_to_all_broadcast_ring_time(4, 10, SPEC) == pytest.approx(18.0)
+
+    def test_single_processor_is_free(self):
+        assert all_to_all_broadcast_ring_time(1, 1000, SPEC) == 0.0
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError):
+            all_to_all_broadcast_ring_time(0, 10, SPEC)
+
+    def test_monotone_in_group_size(self):
+        times = [
+            all_to_all_broadcast_ring_time(p, 100, SPEC) for p in (2, 4, 8, 16)
+        ]
+        assert times == sorted(times)
+
+
+class TestNaiveAllToAll:
+    def test_hand_computed(self):
+        # 3 * 6 * (1 + 1.0 * 3) = 72
+        assert all_to_all_broadcast_naive_time(4, 10, SPEC) == pytest.approx(72.0)
+
+    def test_single_processor_is_free(self):
+        assert all_to_all_broadcast_naive_time(1, 10, SPEC) == 0.0
+
+    def test_always_at_least_ring(self):
+        for p in (2, 3, 8, 33):
+            naive = all_to_all_broadcast_naive_time(p, 64, SPEC)
+            ring = all_to_all_broadcast_ring_time(p, 64, SPEC)
+            assert naive >= ring
+
+    def test_zero_contention_degrades_to_ring(self):
+        from dataclasses import replace
+
+        flat = replace(SPEC, contention_per_processor=0.0)
+        assert all_to_all_broadcast_naive_time(8, 64, flat) == pytest.approx(
+            all_to_all_broadcast_ring_time(8, 64, flat)
+        )
+
+    def test_contention_grows_superlinearly(self):
+        """Cost per processor must grow faster than the ring's O(P)."""
+        small = all_to_all_broadcast_naive_time(4, 100, SPEC)
+        large = all_to_all_broadcast_naive_time(16, 100, SPEC)
+        assert large / small > 16 / 4
+
+
+class TestAllReduce:
+    def test_hand_computed(self):
+        # ceil(log2 8) * (1 + 10*0.5) = 3 * 6 = 18
+        assert all_reduce_time(8, 10, SPEC) == pytest.approx(18.0)
+
+    def test_non_power_of_two_rounds_up(self):
+        assert all_reduce_time(5, 0, SPEC) == pytest.approx(3.0)
+
+    def test_single_processor_is_free(self):
+        assert all_reduce_time(1, 1000, SPEC) == 0.0
+
+
+class TestBroadcast:
+    def test_hand_computed(self):
+        assert broadcast_time(4, 10, SPEC) == pytest.approx(12.0)
+
+    def test_single_processor_is_free(self):
+        assert broadcast_time(1, 10, SPEC) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the machine cost model."""
+
+import pytest
+
+from repro.cluster.machine import CRAY_T3E, IBM_SP2, MachineSpec, subset_time
+from repro.core.hashtree import HashTreeStats
+
+
+class TestPresets:
+    def test_t3e_matches_measured_network(self):
+        """Pin the paper's measured T3E network figures."""
+        assert CRAY_T3E.t_startup == pytest.approx(16e-6)
+        assert 1.0 / CRAY_T3E.t_byte == pytest.approx(303e6)
+
+    def test_sp2_slower_than_t3e(self):
+        assert IBM_SP2.t_travers > CRAY_T3E.t_travers
+        assert IBM_SP2.t_byte > CRAY_T3E.t_byte
+        assert IBM_SP2.t_startup > CRAY_T3E.t_startup
+
+    def test_both_support_overlap(self):
+        assert CRAY_T3E.async_overlap
+        assert IBM_SP2.async_overlap
+
+
+class TestSpecHelpers:
+    def test_with_memory(self):
+        limited = CRAY_T3E.with_memory(1000)
+        assert limited.memory_candidates == 1000
+        assert CRAY_T3E.memory_candidates is None
+        assert limited.t_travers == CRAY_T3E.t_travers
+
+    def test_with_overlap(self):
+        blocking = CRAY_T3E.with_overlap(False)
+        assert not blocking.async_overlap
+        assert CRAY_T3E.async_overlap
+
+    def test_transaction_bytes(self):
+        assert CRAY_T3E.transaction_bytes(15) == 4 + 60
+
+    def test_message_time(self):
+        spec = CRAY_T3E
+        assert spec.message_time(0) == pytest.approx(spec.t_startup)
+        assert spec.message_time(1000) == pytest.approx(
+            spec.t_startup + 1000 * spec.t_byte
+        )
+
+
+class TestSubsetTime:
+    def test_prices_each_counter(self):
+        spec = MachineSpec(
+            name="unit",
+            t_startup=0.0,
+            t_byte=0.0,
+            t_travers=1.0,
+            t_check=10.0,
+            t_leaf_visit=100.0,
+            t_item=1000.0,
+            t_insert=0.0,
+            t_candgen=0.0,
+            t_reduce_op=0.0,
+        )
+        stats = HashTreeStats(
+            transactions_processed=99,
+            root_items_scanned=1,
+            root_items_expanded=42,
+            hash_steps=2,
+            leaf_visits=3,
+            candidates_checked=4,
+        )
+        # 1*1000 + 2*1 + 3*100 + 4*10 = 1342 (expansions are free; their
+        # cost is carried by the hash steps they trigger).
+        assert subset_time(stats, spec) == pytest.approx(1342.0)
+
+    def test_zero_stats_cost_nothing(self):
+        assert subset_time(HashTreeStats(), CRAY_T3E) == 0.0

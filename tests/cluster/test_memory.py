@@ -1,0 +1,70 @@
+"""Tests for hash-tree memory partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.memory import (
+    num_tree_partitions,
+    partition_for_memory,
+    tree_fits,
+)
+
+
+class TestNumTreePartitions:
+    def test_unbounded_memory(self):
+        assert num_tree_partitions(10**9, None) == 1
+
+    def test_fits_exactly(self):
+        assert num_tree_partitions(100, 100) == 1
+
+    def test_one_over_splits(self):
+        assert num_tree_partitions(101, 100) == 2
+
+    def test_many_partitions(self):
+        assert num_tree_partitions(1000, 99) == 11
+
+    def test_zero_candidates(self):
+        assert num_tree_partitions(0, 10) == 1
+
+    def test_rejects_negative_candidates(self):
+        with pytest.raises(ValueError):
+            num_tree_partitions(-1, 10)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            num_tree_partitions(10, 0)
+
+
+class TestTreeFits:
+    def test_fits(self):
+        assert tree_fits(5, 10)
+        assert tree_fits(5, None)
+
+    def test_does_not_fit(self):
+        assert not tree_fits(11, 10)
+
+
+class TestPartitionForMemory:
+    def test_single_chunk_when_fits(self):
+        candidates = [(1, 2), (3, 4)]
+        assert partition_for_memory(candidates, 10) == [candidates]
+
+    def test_chunks_cover_everything_in_order(self):
+        candidates = [(i, i + 1) for i in range(10)]
+        chunks = partition_for_memory(candidates, 3)
+        merged = [c for chunk in chunks for c in chunk]
+        assert merged == candidates
+        assert all(len(chunk) <= 3 for chunk in chunks)
+
+    @given(st.integers(0, 200), st.integers(1, 50))
+    def test_chunk_count_matches_partition_formula(self, n, capacity):
+        candidates = [(i, i + 1) for i in range(n)]
+        chunks = partition_for_memory(candidates, capacity)
+        if n == 0:
+            assert len(chunks) == 1
+        else:
+            assert all(chunk for chunk in chunks)
+            assert max(len(c) for c in chunks) <= capacity
+            merged = [c for chunk in chunks for c in chunk]
+            assert merged == candidates

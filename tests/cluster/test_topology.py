@@ -1,0 +1,62 @@
+"""Tests for interconnect topology bounds."""
+
+import pytest
+
+from repro.cluster.topology import (
+    ALL_TOPOLOGIES,
+    FULLY_CONNECTED,
+    HYPERCUBE,
+    MESH_2D,
+    RING,
+    TORUS_3D,
+)
+
+
+class TestBisectionWidths:
+    def test_ring(self):
+        assert RING.bisection_width(64) == 2.0
+
+    def test_hypercube(self):
+        assert HYPERCUBE.bisection_width(64) == 32.0
+
+    def test_mesh(self):
+        assert MESH_2D.bisection_width(64) == pytest.approx(8.0)
+
+    def test_torus3d(self):
+        assert TORUS_3D.bisection_width(64) == pytest.approx(32.0)
+
+    def test_minimum_one(self):
+        assert MESH_2D.bisection_width(1) == 1.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RING.bisection_width(0)
+
+
+class TestContentionFactors:
+    def test_single_processor_free(self):
+        for topology in ALL_TOPOLOGIES:
+            assert topology.contention_factor(1) == 1.0
+
+    def test_ring_worst(self):
+        for p in (8, 32, 128):
+            factors = [t.contention_factor(p) for t in ALL_TOPOLOGIES]
+            assert max(factors) == RING.contention_factor(p)
+
+    def test_fully_connected_uncontended(self):
+        for p in (4, 64, 256):
+            assert FULLY_CONNECTED.contention_factor(p) == 1.0
+
+    def test_denser_never_worse(self):
+        """Topologies are declared sparsest-first; factors must be
+        non-increasing along the declaration order."""
+        for p in (8, 64, 512):
+            factors = [t.contention_factor(p) for t in ALL_TOPOLOGIES]
+            assert factors == sorted(factors, reverse=True)
+
+    def test_ring_factor_grows_linearly(self):
+        assert RING.contention_factor(64) == pytest.approx(16.0)
+        assert RING.contention_factor(128) == pytest.approx(32.0)
+
+    def test_floor_at_one(self):
+        assert TORUS_3D.contention_factor(4) >= 1.0

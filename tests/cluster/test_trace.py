@@ -1,0 +1,122 @@
+"""Tests for execution timeline tracing."""
+
+import pytest
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.machine import CRAY_T3E
+from repro.cluster.trace import CATEGORY_GLYPHS, TimelineTrace, TraceSegment
+
+
+class TestTraceSegment:
+    def test_duration(self):
+        segment = TraceSegment(0, 1.0, 3.5, "subset")
+        assert segment.duration == 2.5
+
+
+class TestTimelineTrace:
+    def test_record_and_read(self):
+        trace = TimelineTrace()
+        trace.record(0, 0.0, 1.0, "subset")
+        trace.record(1, 0.5, 2.0, "comm")
+        assert len(trace.segments) == 2
+        assert trace.end_time() == 2.0
+
+    def test_zero_length_segments_dropped(self):
+        trace = TimelineTrace()
+        trace.record(0, 1.0, 1.0, "subset")
+        assert trace.segments == []
+
+    def test_backwards_segment_rejected(self):
+        trace = TimelineTrace()
+        with pytest.raises(ValueError):
+            trace.record(0, 2.0, 1.0, "subset")
+
+    def test_for_processor_sorted(self):
+        trace = TimelineTrace()
+        trace.record(0, 5.0, 6.0, "comm")
+        trace.record(0, 0.0, 1.0, "subset")
+        trace.record(1, 2.0, 3.0, "subset")
+        own = trace.for_processor(0)
+        assert [s.start for s in own] == [0.0, 5.0]
+
+    def test_busy_fraction(self):
+        trace = TimelineTrace()
+        trace.record(0, 0.0, 6.0, "subset")
+        trace.record(0, 6.0, 10.0, "idle")
+        trace.record(1, 0.0, 10.0, "comm")
+        assert trace.busy_fraction(0) == pytest.approx(0.6)
+        assert trace.busy_fraction(0, "subset") == pytest.approx(0.6)
+        assert trace.busy_fraction(1, "comm") == pytest.approx(1.0)
+
+    def test_busy_fraction_empty_trace(self):
+        assert TimelineTrace().busy_fraction(0) == 0.0
+
+
+class TestGanttRendering:
+    def test_empty_trace(self):
+        chart = TimelineTrace().render_gantt(2)
+        assert "no recorded segments" in chart
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            TimelineTrace().render_gantt(1, width=2)
+
+    def test_rows_and_legend(self):
+        trace = TimelineTrace()
+        trace.record(0, 0.0, 1.0, "subset")
+        trace.record(1, 0.0, 1.0, "comm")
+        chart = trace.render_gantt(2, width=16)
+        assert "P000" in chart and "P001" in chart
+        assert "legend:" in chart
+
+    def test_dominant_category_wins_bucket(self):
+        trace = TimelineTrace()
+        trace.record(0, 0.0, 9.0, "subset")
+        trace.record(0, 9.0, 10.0, "comm")
+        chart = trace.render_gantt(1, width=10)
+        row = next(l for l in chart.splitlines() if l.startswith("P000"))
+        assert row.count(CATEGORY_GLYPHS["subset"]) >= 8
+
+    def test_unknown_category_glyph(self):
+        trace = TimelineTrace()
+        trace.record(0, 0.0, 1.0, "mystery")
+        chart = trace.render_gantt(1, width=8)
+        assert "?" in chart
+
+
+class TestClusterIntegration:
+    def test_cluster_records_advances_and_idle(self):
+        trace = TimelineTrace()
+        cluster = VirtualCluster(2, CRAY_T3E, trace=trace)
+        cluster.advance(0, 2.0, "subset")
+        cluster.synchronize()
+        categories = {s.category for s in trace.segments}
+        assert categories == {"subset", "idle"}
+        idle = next(s for s in trace.segments if s.category == "idle")
+        assert idle.pid == 1
+        assert idle.duration == pytest.approx(2.0)
+
+    def test_miner_end_to_end_trace(self, tiny_db):
+        from repro.parallel import CountDistribution
+
+        trace = TimelineTrace()
+        result = CountDistribution(0.3, 2, trace=trace).mine(tiny_db)
+        assert trace.end_time() == pytest.approx(result.total_time)
+        chart = trace.render_gantt(2)
+        assert "P000" in chart
+
+    def test_trace_sums_match_breakdown(self, tiny_db):
+        from repro.parallel import IntelligentDataDistribution
+
+        trace = TimelineTrace()
+        result = IntelligentDataDistribution(0.3, 3, trace=trace).mine(
+            tiny_db
+        )
+        for pid in range(3):
+            for category, seconds in result.per_processor[pid].items():
+                traced = sum(
+                    s.duration
+                    for s in trace.for_processor(pid)
+                    if s.category == category
+                )
+                assert traced == pytest.approx(seconds, rel=1e-9)

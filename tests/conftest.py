@@ -1,0 +1,69 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.core.items import Itemset
+from repro.core.transaction import TransactionDB
+from repro.data.corpus import supermarket, t5_i2
+from repro.data.quest import generate
+
+
+def brute_force_frequent(
+    db: TransactionDB, min_count: int, max_size: int | None = None
+) -> Dict[Itemset, int]:
+    """Enumerate all frequent item-sets by exhaustive subset counting.
+
+    Exponential — only for tiny databases — but trivially correct, which
+    makes it the oracle for Apriori and the parallel formulations.
+    """
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for transaction in db:
+        limit = len(transaction) if max_size is None else min(
+            max_size, len(transaction)
+        )
+        for size in range(1, limit + 1):
+            for subset in combinations(transaction, size):
+                counts[subset] += 1
+    return {s: c for s, c in counts.items() if c >= min_count}
+
+
+@pytest.fixture
+def supermarket_db() -> TransactionDB:
+    """The paper's Table I worked example."""
+    return supermarket()
+
+
+@pytest.fixture
+def tiny_db() -> TransactionDB:
+    """A handful of hand-written transactions."""
+    return TransactionDB(
+        [
+            (1, 2, 3),
+            (1, 2),
+            (2, 3, 4),
+            (1, 3, 4),
+            (2, 4),
+            (1, 2, 3, 4),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_quest_db() -> TransactionDB:
+    """A small synthetic database shared across tests (deterministic)."""
+    return generate(t5_i2(300, seed=42))
+
+
+@pytest.fixture(scope="session")
+def medium_quest_db() -> TransactionDB:
+    """A denser synthetic database for parallel-equivalence tests."""
+    from repro.data.corpus import t15_i6
+
+    return generate(t15_i6(240, seed=5, num_items=200))

@@ -1,0 +1,66 @@
+"""Tests for the first-item bitmap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmap import ItemBitmap
+
+
+class TestItemBitmap:
+    def test_membership(self):
+        bitmap = ItemBitmap([1, 5, 9])
+        assert 1 in bitmap
+        assert 5 in bitmap
+        assert 2 not in bitmap
+        assert 100 not in bitmap
+
+    def test_empty(self):
+        bitmap = ItemBitmap()
+        assert 0 not in bitmap
+        assert len(bitmap) == 0
+        assert list(bitmap) == []
+
+    def test_len_and_iter(self):
+        bitmap = ItemBitmap([4, 1, 4, 2])
+        assert len(bitmap) == 3
+        assert list(bitmap) == [1, 2, 4]
+
+    def test_add(self):
+        bitmap = ItemBitmap()
+        bitmap.add(7)
+        assert 7 in bitmap
+        bitmap.add(7)
+        assert len(bitmap) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ItemBitmap([-1])
+        bitmap = ItemBitmap()
+        with pytest.raises(ValueError):
+            bitmap.add(-3)
+
+    def test_union(self):
+        merged = ItemBitmap([1, 2]) | ItemBitmap([2, 3])
+        assert list(merged) == [1, 2, 3]
+
+    def test_equality(self):
+        assert ItemBitmap([1, 2]) == ItemBitmap([2, 1])
+        assert ItemBitmap([1]) != ItemBitmap([2])
+
+    def test_repr(self):
+        assert "1" in repr(ItemBitmap([1]))
+
+    def test_size_in_bytes(self):
+        bitmap = ItemBitmap([0])
+        assert bitmap.size_in_bytes(8) == 1
+        assert bitmap.size_in_bytes(9) == 2
+        assert bitmap.size_in_bytes(1000) == 125
+
+    @given(st.sets(st.integers(0, 200)))
+    def test_behaves_like_a_set(self, items):
+        bitmap = ItemBitmap(items)
+        assert len(bitmap) == len(items)
+        assert set(bitmap) == items
+        for probe in range(0, 210, 7):
+            assert (probe in bitmap) == (probe in items)

@@ -1,0 +1,108 @@
+"""Unit and property tests for apriori_gen candidate generation."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import (
+    count_candidates_per_first_item,
+    first_item_histogram,
+    generate_candidates,
+    generate_candidates_2,
+)
+
+
+class TestGenerateCandidates:
+    def test_empty_input(self):
+        assert generate_candidates([]) == []
+
+    def test_pairs_from_singletons(self):
+        assert generate_candidates([(1,), (3,), (2,)]) == [
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ]
+
+    def test_classic_join_and_prune(self):
+        # {1,2},{1,3},{2,3} join to {1,2,3}; {2,4} cannot extend because
+        # {3,4} and {1,4} are infrequent.
+        frequent = [(1, 2), (1, 3), (2, 3), (2, 4)]
+        assert generate_candidates(frequent) == [(1, 2, 3)]
+
+    def test_prune_removes_unsupported_subset(self):
+        # Join of (1,2,3) and (1,2,4) gives (1,2,3,4); pruned because
+        # (1,3,4) missing.
+        frequent = [(1, 2, 3), (1, 2, 4), (2, 3, 4)]
+        assert generate_candidates(frequent) == []
+
+    def test_full_closure_survives_prune(self):
+        frequent = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+        assert generate_candidates(frequent) == [(1, 2, 3, 4)]
+
+    def test_mixed_sizes_raise(self):
+        with pytest.raises(ValueError, match="mixed sizes"):
+            generate_candidates([(1,), (1, 2)])
+
+    def test_output_is_sorted_and_unique(self):
+        frequent = [(i,) for i in range(6)]
+        result = generate_candidates(frequent)
+        assert result == sorted(set(result))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(
+                st.integers(0, 12), st.integers(0, 12)
+            ).filter(lambda t: t[0] < t[1]),
+            max_size=25,
+        )
+    )
+    def test_candidates_contain_all_joinable_supersets(self, frequent_pairs):
+        """Every 3-set whose all 2-subsets are frequent must be generated."""
+        frequent = set(frequent_pairs)
+        generated = set(generate_candidates(frequent)) if frequent else set()
+        universe = sorted({i for pair in frequent for i in pair})
+        for triple in combinations(universe, 3):
+            all_subsets_frequent = all(
+                pair in frequent for pair in combinations(triple, 2)
+            )
+            assert (triple in generated) == all_subsets_frequent
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)).filter(
+                lambda t: t[0] < t[1]
+            ),
+            max_size=20,
+        )
+    )
+    def test_every_candidate_subset_is_frequent(self, frequent_pairs):
+        for candidate in generate_candidates(frequent_pairs):
+            for pair in combinations(candidate, 2):
+                assert pair in frequent_pairs
+
+
+class TestGenerateCandidates2:
+    def test_matches_generic_path(self):
+        items = [4, 1, 7]
+        via_items = generate_candidates_2(items)
+        via_sets = generate_candidates([(i,) for i in items])
+        assert via_items == via_sets
+
+    def test_empty(self):
+        assert generate_candidates_2([]) == []
+
+
+class TestFirstItemHistogram:
+    def test_counts_by_first_item(self):
+        histogram = first_item_histogram([(1, 2), (1, 3), (2, 3)])
+        assert histogram == {1: 2, 2: 1}
+
+    def test_count_without_materializing_matches(self):
+        frequent = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]
+        assert count_candidates_per_first_item(
+            frequent
+        ) == first_item_histogram(generate_candidates(frequent))

@@ -1,0 +1,50 @@
+"""Tests for the counting front-ends (naive oracle and hash-tree path)."""
+
+import pytest
+
+from repro.core.counting import count_naive, count_with_hashtree, support_count
+
+
+class TestCountNaive:
+    def test_simple(self):
+        counts = count_naive([(1, 2), (2, 3)], [(1, 2, 3), (2, 3)])
+        assert counts == {(1, 2): 1, (2, 3): 2}
+
+    def test_no_transactions(self):
+        assert count_naive([(1,)], []) == {(1,): 0}
+
+    def test_no_candidates(self):
+        assert count_naive([], [(1, 2)]) == {}
+
+
+class TestCountWithHashtree:
+    def test_matches_naive(self, tiny_db):
+        candidates = [(1, 2), (2, 3), (1, 4), (3, 4)]
+        counts, tree = count_with_hashtree(candidates, tiny_db)
+        assert counts == count_naive(candidates, tiny_db)
+        assert tree.stats.transactions_processed == len(tiny_db)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            count_with_hashtree([], [(1, 2)])
+
+    def test_custom_geometry(self, tiny_db):
+        candidates = [(1, 2, 3), (2, 3, 4)]
+        counts, tree = count_with_hashtree(
+            candidates, tiny_db, branching=2, leaf_capacity=1
+        )
+        assert counts == count_naive(candidates, tiny_db)
+        assert tree.branching == 2
+
+
+class TestSupportCount:
+    def test_paper_worked_example(self, supermarket_db):
+        """Section II: sigma(Diaper, Milk) = 3, sigma(D, M, Beer) = 2."""
+        diaper_milk = (3, 4)
+        diaper_milk_beer = (0, 3, 4)
+        assert support_count(diaper_milk, supermarket_db) == 3
+        assert support_count(diaper_milk_beer, supermarket_db) == 2
+
+    def test_absent_itemset(self, supermarket_db):
+        # No transaction contains all five items.
+        assert support_count((0, 1, 2, 3, 4), supermarket_db) == 0

@@ -1,0 +1,67 @@
+"""Stateful model-based test: HashTree vs a naive reference counter.
+
+Hypothesis drives an arbitrary interleaving of inserts and transaction
+counts against both the hash tree and a trivially-correct model; the
+count tables must agree after every step.  This catches interaction
+bugs (counting between inserts, split-during-count artifacts) that
+scenario tests miss.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.hashtree import HashTree
+from repro.core.items import is_subset
+
+K = 3
+items = st.integers(min_value=0, max_value=12)
+candidate_strategy = st.sets(items, min_size=K, max_size=K).map(
+    lambda s: tuple(sorted(s))
+)
+transaction_strategy = st.sets(items, min_size=1, max_size=9).map(
+    lambda s: tuple(sorted(s))
+)
+
+
+class HashTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = HashTree(K, branching=3, leaf_capacity=2)
+        self.model = {}
+        self.transactions = []
+
+    @rule(candidate=candidate_strategy)
+    def insert_candidate(self, candidate):
+        self.tree.insert(candidate)
+        if candidate not in self.model:
+            # A late-inserted candidate has missed earlier transactions,
+            # exactly as the tree's zero-initialized count does.
+            self.model[candidate] = 0
+
+    @rule(transaction=transaction_strategy)
+    def count_transaction(self, transaction):
+        self.tree.count_transaction(transaction)
+        self.transactions.append(transaction)
+        for candidate in self.model:
+            if is_subset(candidate, transaction):
+                self.model[candidate] += 1
+
+    @rule()
+    def reset_counts(self):
+        self.tree.reset_counts()
+        self.model = {c: 0 for c in self.model}
+
+    @invariant()
+    def counts_agree(self):
+        assert self.tree.counts() == self.model
+
+    @invariant()
+    def size_agrees(self):
+        assert len(self.tree) == len(self.model)
+
+
+HashTreeMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestHashTreeStateful = HashTreeMachine.TestCase

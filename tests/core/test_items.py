@@ -1,0 +1,104 @@
+"""Unit tests for canonical item-set helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.items import (
+    first_item,
+    is_canonical,
+    is_subset,
+    itemset,
+    prefix,
+    validate_itemset,
+)
+
+
+class TestItemset:
+    def test_sorts_and_dedups(self):
+        assert itemset([3, 1, 2, 3]) == (1, 2, 3)
+
+    def test_empty_input_gives_empty_tuple(self):
+        assert itemset([]) == ()
+
+    def test_single_item(self):
+        assert itemset([7]) == (7,)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100)))
+    def test_always_canonical(self, items):
+        assert is_canonical(itemset(items))
+
+
+class TestIsCanonical:
+    def test_sorted_unique_is_canonical(self):
+        assert is_canonical((1, 2, 5))
+
+    def test_duplicates_are_not_canonical(self):
+        assert not is_canonical((1, 1, 2))
+
+    def test_unsorted_is_not_canonical(self):
+        assert not is_canonical((2, 1))
+
+    def test_empty_is_canonical(self):
+        assert is_canonical(())
+
+
+class TestValidateItemset:
+    def test_accepts_canonical(self):
+        assert validate_itemset([1, 4, 9]) == (1, 4, 9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            validate_itemset([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_itemset([-1, 2])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            validate_itemset([2, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            validate_itemset([1, 1])
+
+
+class TestIsSubset:
+    def test_positive(self):
+        assert is_subset((2, 4), (1, 2, 3, 4, 5))
+
+    def test_negative(self):
+        assert not is_subset((2, 6), (1, 2, 3, 4, 5))
+
+    def test_empty_candidate_is_subset(self):
+        assert is_subset((), (1, 2))
+
+    def test_candidate_longer_than_transaction(self):
+        assert not is_subset((1, 2, 3), (1, 2))
+
+    def test_equal_sets(self):
+        assert is_subset((1, 2), (1, 2))
+
+    def test_item_past_end(self):
+        assert not is_subset((9,), (1, 2, 3))
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=30)),
+        st.sets(st.integers(min_value=0, max_value=30)),
+    )
+    def test_matches_set_semantics(self, a, b):
+        candidate = tuple(sorted(a))
+        transaction = tuple(sorted(b))
+        assert is_subset(candidate, transaction) == a.issubset(b)
+
+
+class TestAccessors:
+    def test_first_item(self):
+        assert first_item((3, 5, 9)) == 3
+
+    def test_prefix(self):
+        assert prefix((1, 2, 3, 4), 2) == (1, 2)
+
+    def test_prefix_full_length(self):
+        assert prefix((1, 2), 5) == (1, 2)

@@ -1,0 +1,222 @@
+"""Tests for the candidate-set partitioners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    bin_pack,
+    partition_by_first_item,
+    partition_contiguous_first_items,
+    partition_round_robin,
+)
+
+
+def flatten(partition):
+    merged = []
+    for assignment in partition.assignments:
+        merged.extend(assignment)
+    return sorted(merged)
+
+
+CANDIDATES = [
+    (1, 2), (1, 3), (1, 4), (1, 5),
+    (2, 3), (2, 4),
+    (3, 4), (3, 5), (3, 6),
+    (4, 5),
+    (7, 8),
+]
+
+
+class TestRoundRobin:
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            partition_round_robin(CANDIDATES, 0)
+
+    def test_covers_all_candidates_exactly_once(self):
+        partition = partition_round_robin(CANDIDATES, 3)
+        assert flatten(partition) == sorted(CANDIDATES)
+
+    def test_loads_are_balanced(self):
+        partition = partition_round_robin(CANDIDATES, 4)
+        loads = partition.loads
+        assert max(loads) - min(loads) <= 1
+
+    def test_no_filters(self):
+        assert partition_round_robin(CANDIDATES, 2).filters is None
+
+    def test_imbalance_metric(self):
+        partition = partition_round_robin(CANDIDATES, 2)
+        assert partition.load_imbalance() == pytest.approx(
+            max(partition.loads) / (len(CANDIDATES) / 2) - 1
+        )
+
+
+class TestBinPack:
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            bin_pack({(1,): 3}, 0)
+
+    def test_single_bin_takes_everything(self):
+        bins = bin_pack({(1,): 3, (2,): 5}, 1)
+        assert sorted(bins[0]) == [(1,), (2,)]
+
+    def test_heaviest_items_spread_first(self):
+        weights = {(1,): 10, (2,): 9, (3,): 1, (4,): 1}
+        bins = bin_pack(weights, 2)
+        loads = [sum(weights[k] for k in b) for b in bins]
+        assert sorted(loads) == [10, 11]
+
+    def test_deterministic(self):
+        weights = {(i,): 5 for i in range(10)}
+        assert bin_pack(weights, 3) == bin_pack(weights, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 30)),
+            st.integers(1, 20),
+            max_size=20,
+        ),
+        st.integers(1, 6),
+    )
+    def test_pack_covers_all_keys(self, weights, bins_count):
+        bins = bin_pack(weights, bins_count)
+        packed = sorted(k for b in bins for k in b)
+        assert packed == sorted(weights)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 30)),
+            st.integers(1, 20),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(1, 6),
+    )
+    def test_lpt_bound(self, weights, bins_count):
+        """Greedy LPT is within 4/3 OPT; check the weaker bound
+        max_load <= mean + max_weight, which LPT always satisfies."""
+        bins = bin_pack(weights, bins_count)
+        loads = [sum(weights[k] for k in b) for b in bins]
+        mean = sum(weights.values()) / bins_count
+        assert max(loads) <= mean + max(weights.values()) + 1e-9
+
+
+class TestPartitionByFirstItem:
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            partition_by_first_item(CANDIDATES, -1)
+
+    def test_covers_all_candidates_exactly_once(self):
+        partition = partition_by_first_item(CANDIDATES, 3)
+        assert flatten(partition) == sorted(CANDIDATES)
+
+    def test_first_items_stay_together(self):
+        partition = partition_by_first_item(CANDIDATES, 3)
+        owner_of = {}
+        for pid, assignment in enumerate(partition.assignments):
+            for candidate in assignment:
+                assert owner_of.setdefault(candidate[0], pid) == pid
+
+    def test_filters_match_assignments(self):
+        partition = partition_by_first_item(CANDIDATES, 3)
+        assert partition.filters is not None
+        for assignment, bitmap in zip(partition.assignments, partition.filters):
+            for candidate in assignment:
+                assert candidate[0] in bitmap
+
+    def test_single_processor(self):
+        partition = partition_by_first_item(CANDIDATES, 1)
+        assert partition.loads == [len(CANDIDATES)]
+
+    def test_more_processors_than_first_items(self):
+        partition = partition_by_first_item([(1, 2), (2, 3)], 5)
+        assert sum(partition.loads) == 2
+        assert partition.loads.count(0) == 3
+
+    def test_refinement_splits_heavy_first_item(self):
+        heavy = [(1, j) for j in range(2, 12)] + [(2, 3), (3, 4)]
+        coarse = partition_by_first_item(heavy, 3)
+        refined = partition_by_first_item(heavy, 3, refine_threshold=4)
+        # Without refinement one processor owns all ten (1, *) candidates.
+        assert max(coarse.loads) == 10
+        # With refinement the (1, *) group is split by second item.
+        assert max(refined.loads) < 10
+        assert flatten(refined) == sorted(heavy)
+
+    def test_refinement_bitmap_still_covers_first_items(self):
+        heavy = [(1, j) for j in range(2, 12)]
+        refined = partition_by_first_item(heavy, 2, refine_threshold=3)
+        assert refined.filters is not None
+        for assignment, bitmap in zip(refined.assignments, refined.filters):
+            for candidate in assignment:
+                assert candidate[0] in bitmap
+
+    def test_refinement_ignores_singleton_candidates(self):
+        singles = [(i,) for i in range(6)]
+        partition = partition_by_first_item(singles, 2, refine_threshold=1)
+        assert flatten(partition) == singles
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 15), st.integers(16, 31)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 8),
+    )
+    def test_partition_is_exact_cover(self, candidate_set, processors):
+        candidates = sorted(candidate_set)
+        partition = partition_by_first_item(candidates, processors)
+        assert flatten(partition) == candidates
+
+
+class TestPartitionContiguous:
+    def test_covers_all_candidates_exactly_once(self):
+        partition = partition_contiguous_first_items(CANDIDATES, 3)
+        assert flatten(partition) == sorted(CANDIDATES)
+
+    def test_first_items_stay_together(self):
+        partition = partition_contiguous_first_items(CANDIDATES, 3)
+        owner_of = {}
+        for pid, assignment in enumerate(partition.assignments):
+            for candidate in assignment:
+                assert owner_of.setdefault(candidate[0], pid) == pid
+
+    def test_owners_are_contiguous_ranges(self):
+        partition = partition_contiguous_first_items(CANDIDATES, 3)
+        previous_owner = -1
+        for first_item in sorted({c[0] for c in CANDIDATES}):
+            owner = next(
+                pid
+                for pid, assignment in enumerate(partition.assignments)
+                if any(c[0] == first_item for c in assignment)
+            )
+            assert owner >= previous_owner
+            previous_owner = owner
+
+    def test_filters_cover_assignments(self):
+        partition = partition_contiguous_first_items(CANDIDATES, 3)
+        assert partition.filters is not None
+        for assignment, bitmap in zip(partition.assignments, partition.filters):
+            for candidate in assignment:
+                assert candidate[0] in bitmap
+
+    def test_skewed_candidates_imbalance_worse_than_bin_packing(self):
+        """Section III-C's 1-to-50 example: contiguous ranges pile the
+        heavy half of the item space on one processor."""
+        skewed = [(i, j) for i in range(10) for j in range(i + 1, 12)]
+        contiguous = partition_contiguous_first_items(skewed + [(90, 91)], 2)
+        packed = partition_by_first_item(skewed + [(90, 91)], 2)
+        assert contiguous.load_imbalance() > packed.load_imbalance()
+
+    def test_empty_candidates(self):
+        partition = partition_contiguous_first_items([], 3)
+        assert partition.loads == [0, 0, 0]
+
+    def test_rejects_bad_processor_count(self):
+        with pytest.raises(ValueError):
+            partition_contiguous_first_items(CANDIDATES, 0)

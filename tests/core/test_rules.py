@@ -1,0 +1,143 @@
+"""Tests for association-rule generation."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apriori import Apriori
+from repro.core.rules import AssociationRule, generate_rules, rules_from_result
+from repro.core.transaction import TransactionDB
+from tests.conftest import brute_force_frequent
+
+
+def brute_force_rules(frequent, num_transactions, min_confidence):
+    """All-subsets rule enumeration, the oracle for ap-genrules."""
+    rules = set()
+    for itemset, joint in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for consequent in combinations(itemset, size):
+                antecedent = tuple(
+                    i for i in itemset if i not in set(consequent)
+                )
+                confidence = joint / frequent[antecedent]
+                if confidence + 1e-12 >= min_confidence:
+                    rules.add((antecedent, consequent))
+    return rules
+
+
+class TestPaperExample:
+    def test_diaper_milk_implies_beer(self, supermarket_db):
+        """Section II: {Diaper, Milk} => {Beer} has support 40%, confidence 66%."""
+        result = Apriori(0.4).mine(supermarket_db)
+        rules = rules_from_result(result, min_confidence=0.6)
+        target = next(
+            r
+            for r in rules
+            if r.antecedent == (3, 4) and r.consequent == (0,)
+        )
+        assert target.support == pytest.approx(0.4)
+        assert target.confidence == pytest.approx(2 / 3)
+        assert target.count == 2
+
+    def test_rule_str_rendering(self, supermarket_db):
+        result = Apriori(0.4).mine(supermarket_db)
+        rules = rules_from_result(result, 0.6)
+        text = str(rules[0])
+        assert "=>" in text
+        assert "confidence=" in text
+
+
+class TestGenerateRules:
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            generate_rules({}, 10, 0.0)
+        with pytest.raises(ValueError):
+            generate_rules({}, 10, 1.5)
+
+    def test_rejects_bad_transaction_count(self):
+        with pytest.raises(ValueError):
+            generate_rules({}, 0, 0.5)
+
+    def test_no_rules_from_singletons(self):
+        rules = generate_rules({(1,): 5, (2,): 3}, 10, 0.1)
+        assert rules == []
+
+    def test_antecedent_and_consequent_disjoint_and_cover(self):
+        frequent = {(1,): 4, (2,): 4, (3,): 3, (1, 2): 3, (1, 3): 2,
+                    (2, 3): 2, (1, 2, 3): 2}
+        for rule in generate_rules(frequent, 5, 0.1):
+            overlap = set(rule.antecedent) & set(rule.consequent)
+            assert not overlap
+            union = tuple(sorted(rule.antecedent + rule.consequent))
+            assert union in frequent
+
+    def test_sorted_by_confidence_then_support(self):
+        frequent = {(1,): 4, (2,): 2, (3,): 4, (1, 2): 2, (1, 3): 4}
+        rules = generate_rules(frequent, 4, 0.1)
+        keys = [(-r.confidence, -r.support) for r in rules]
+        assert keys == sorted(keys)
+
+    def test_confidence_threshold_filters(self):
+        frequent = {(1,): 10, (2,): 2, (1, 2): 2}
+        # {1} => {2} has confidence 0.2; {2} => {1} has 1.0.
+        strict = generate_rules(frequent, 10, 0.9)
+        assert {(r.antecedent, r.consequent) for r in strict} == {((2,), (1,))}
+
+    def test_missing_subset_raises_keyerror(self):
+        # Not downward closed: (1,2) present without (1,).
+        with pytest.raises(KeyError):
+            generate_rules({(1, 2): 2, (2,): 3}, 10, 0.1)
+
+    def test_matches_brute_force_on_supermarket(self, supermarket_db):
+        result = Apriori(0.4).mine(supermarket_db)
+        for min_confidence in (0.3, 0.6, 0.9):
+            rules = generate_rules(
+                result.frequent, len(supermarket_db), min_confidence
+            )
+            produced = {(r.antecedent, r.consequent) for r in rules}
+            expected = brute_force_rules(
+                result.frequent, len(supermarket_db), min_confidence
+            )
+            assert produced == expected
+
+
+transactions_strategy = st.lists(
+    st.sets(st.integers(0, 10), min_size=1, max_size=6).map(
+        lambda s: tuple(sorted(s))
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestRulesProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        transactions_strategy,
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_ap_genrules_equals_brute_force(
+        self, rows, min_support, min_confidence
+    ):
+        db = TransactionDB.from_canonical(rows)
+        result = Apriori(min_support).mine(db)
+        rules = generate_rules(result.frequent, len(db), min_confidence)
+        produced = {(r.antecedent, r.consequent) for r in rules}
+        expected = brute_force_rules(result.frequent, len(db), min_confidence)
+        assert produced == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(transactions_strategy)
+    def test_rule_measures_are_consistent(self, rows):
+        db = TransactionDB.from_canonical(rows)
+        result = Apriori(0.2).mine(db)
+        for rule in generate_rules(result.frequent, len(db), 0.2):
+            assert 0 < rule.support <= 1
+            assert 0 < rule.confidence <= 1
+            # confidence >= support always (sigma(X) <= |T|).
+            assert rule.confidence >= rule.support - 1e-12

@@ -1,0 +1,119 @@
+"""Tests for maximal/closed item-set condensations."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.apriori import Apriori
+from repro.core.summaries import (
+    closed_itemsets,
+    maximal_itemsets,
+    support_histogram,
+)
+from repro.core.transaction import TransactionDB
+
+
+FREQUENT = {
+    (1,): 5,
+    (2,): 4,
+    (3,): 4,
+    (1, 2): 4,
+    (1, 3): 3,
+    (2, 3): 3,
+    (1, 2, 3): 3,
+}
+
+
+class TestMaximal:
+    def test_empty(self):
+        assert maximal_itemsets({}) == {}
+
+    def test_single_maximal(self):
+        assert maximal_itemsets(FREQUENT) == {(1, 2, 3): 3}
+
+    def test_incomparable_maximals(self):
+        frequent = {(1,): 3, (2,): 3, (3,): 3, (1, 2): 2, (3,): 3}
+        assert maximal_itemsets(frequent) == {(1, 2): 2, (3,): 3}
+
+    def test_all_singletons(self):
+        frequent = {(1,): 2, (2,): 2}
+        assert maximal_itemsets(frequent) == frequent
+
+    def test_determines_frequency(self, supermarket_db):
+        """Every frequent set is a subset of some maximal set."""
+        result = Apriori(0.4).mine(supermarket_db)
+        maximal = maximal_itemsets(result.frequent)
+        for itemset in result.frequent:
+            covered = any(
+                set(itemset) <= set(m) for m in maximal
+            )
+            assert covered
+
+
+class TestClosed:
+    def test_empty(self):
+        assert closed_itemsets({}) == {}
+
+    def test_absorbed_subsets_removed(self):
+        # (2,) has the same support as (1, 2): not closed.
+        frequent = {(1,): 5, (2,): 4, (1, 2): 4}
+        closed = closed_itemsets(frequent)
+        assert (2,) not in closed
+        assert closed[(1,)] == 5
+        assert closed[(1, 2)] == 4
+
+    def test_closed_superset_of_maximal(self, supermarket_db):
+        result = Apriori(0.4).mine(supermarket_db)
+        closed = closed_itemsets(result.frequent)
+        maximal = maximal_itemsets(result.frequent)
+        assert set(maximal) <= set(closed)
+
+    def test_closed_preserve_all_supports(self, supermarket_db):
+        """sigma(X) = max over closed supersets of X — the defining
+        property of the closed condensation."""
+        result = Apriori(0.4).mine(supermarket_db)
+        closed = closed_itemsets(result.frequent)
+        for itemset, count in result.frequent.items():
+            recovered = max(
+                c for s, c in closed.items() if set(itemset) <= set(s)
+            )
+            assert recovered == count
+
+
+class TestSupportHistogram:
+    def test_counts_by_size(self):
+        assert support_histogram(FREQUENT) == {1: 3, 2: 3, 3: 1}
+
+    def test_empty(self):
+        assert support_histogram({}) == {}
+
+
+transactions_strategy = st.lists(
+    st.sets(st.integers(0, 8), min_size=1, max_size=5).map(
+        lambda s: tuple(sorted(s))
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestCondensationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(transactions_strategy)
+    def test_maximal_within_closed_within_frequent(self, rows):
+        db = TransactionDB.from_canonical(rows)
+        frequent = Apriori(0.2).mine(db).frequent
+        closed = closed_itemsets(frequent)
+        maximal = maximal_itemsets(frequent)
+        assert set(maximal) <= set(closed) <= set(frequent)
+
+    @settings(max_examples=40, deadline=None)
+    @given(transactions_strategy)
+    def test_maximal_antichain(self, rows):
+        db = TransactionDB.from_canonical(rows)
+        frequent = Apriori(0.2).mine(db).frequent
+        maximal = list(maximal_itemsets(frequent))
+        for a, b in combinations(maximal, 2):
+            assert not (set(a) <= set(b) or set(b) <= set(a))

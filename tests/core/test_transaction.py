@@ -1,0 +1,107 @@
+"""Unit tests for the in-memory transaction database."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.transaction import TransactionDB
+
+
+def make_db(rows):
+    return TransactionDB(rows)
+
+
+class TestConstruction:
+    def test_accepts_canonical_rows(self):
+        db = make_db([(1, 2), (3,)])
+        assert len(db) == 2
+        assert db[0] == (1, 2)
+
+    def test_rejects_unsorted_rows(self):
+        with pytest.raises(ValueError):
+            make_db([(2, 1)])
+
+    def test_rejects_empty_transaction(self):
+        with pytest.raises(ValueError):
+            make_db([()])
+
+    def test_from_canonical_skips_validation(self):
+        db = TransactionDB.from_canonical([(1, 2), (2, 3)])
+        assert list(db) == [(1, 2), (2, 3)]
+
+    def test_equality(self):
+        assert make_db([(1, 2)]) == make_db([(1, 2)])
+        assert make_db([(1, 2)]) != make_db([(1, 3)])
+
+    def test_repr_contains_size(self):
+        assert "n=2" in repr(make_db([(1,), (2,)]))
+
+
+class TestStats:
+    def test_empty_db(self):
+        db = TransactionDB([])
+        stats = db.stats()
+        assert stats.num_transactions == 0
+        assert stats.avg_length == 0.0
+
+    def test_basic_stats(self):
+        db = make_db([(1, 2, 3), (4,)])
+        stats = db.stats()
+        assert stats.num_transactions == 2
+        assert stats.num_items == 4
+        assert stats.min_length == 1
+        assert stats.max_length == 3
+        assert stats.avg_length == 2.0
+        assert stats.total_item_occurrences == 4
+
+    def test_item_universe_sorted(self):
+        db = make_db([(5, 9), (1, 5)])
+        assert db.item_universe() == (1, 5, 9)
+
+
+class TestPartition:
+    def test_rejects_non_positive_parts(self):
+        with pytest.raises(ValueError):
+            make_db([(1,)]).partition(0)
+
+    def test_partition_preserves_order_and_content(self):
+        db = make_db([(i,) for i in range(10)])
+        parts = db.partition(3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        merged = [t for p in parts for t in p]
+        assert merged == list(db)
+
+    def test_more_parts_than_transactions(self):
+        db = make_db([(1,), (2,)])
+        parts = db.partition(5)
+        assert [len(p) for p in parts] == [1, 1, 0, 0, 0]
+
+    def test_single_part_is_whole_db(self):
+        db = make_db([(1,), (2,)])
+        (part,) = db.partition(1)
+        assert list(part) == list(db)
+
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 20), min_size=1).map(
+                lambda s: tuple(sorted(s))
+            ),
+            max_size=30,
+        ),
+        st.integers(1, 8),
+    )
+    def test_partition_sizes_differ_by_at_most_one(self, rows, parts):
+        db = TransactionDB.from_canonical(rows)
+        sizes = [len(p) for p in db.partition(parts)]
+        assert sum(sizes) == len(db)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSizeInBytes:
+    def test_header_plus_items(self):
+        db = make_db([(1, 2, 3)])
+        assert db.size_in_bytes(bytes_per_item=4) == 4 + 12
+
+    def test_scales_with_transactions(self):
+        db = make_db([(1,), (2,)])
+        assert db.size_in_bytes() == 2 * (4 + 4)

@@ -1,0 +1,81 @@
+"""Tests for the named datasets."""
+
+from repro.data.corpus import (
+    SUPERMARKET_ITEMS,
+    SUPERMARKET_NAMES,
+    supermarket,
+    t5_i2,
+    t15_i6,
+)
+
+
+class TestSupermarket:
+    def test_five_transactions(self):
+        db = supermarket()
+        assert len(db) == 5
+
+    def test_matches_table1(self):
+        """Pin the exact rows of the paper's Table I."""
+        db = supermarket()
+        rows = [
+            {"Bread", "Coke", "Milk"},
+            {"Beer", "Bread"},
+            {"Beer", "Coke", "Diaper", "Milk"},
+            {"Beer", "Bread", "Diaper", "Milk"},
+            {"Coke", "Diaper", "Milk"},
+        ]
+        for transaction, names in zip(db, rows):
+            assert {SUPERMARKET_NAMES[i] for i in transaction} == names
+
+    def test_item_mapping_roundtrip(self):
+        for name, item in SUPERMARKET_ITEMS.items():
+            assert SUPERMARKET_NAMES[item] == name
+
+    def test_universe_is_five_items(self):
+        assert supermarket().item_universe() == (0, 1, 2, 3, 4)
+
+
+class TestSyntheticConfigs:
+    def test_t15_i6_parameters(self):
+        config = t15_i6(500, seed=3)
+        assert config.num_transactions == 500
+        assert config.avg_transaction_length == 15.0
+        assert config.avg_pattern_length == 6.0
+        assert config.seed == 3
+
+    def test_t15_i6_custom_universe(self):
+        config = t15_i6(10, num_items=250)
+        assert config.num_items == 250
+        assert config.num_patterns >= 20
+
+    def test_t5_i2_is_smaller(self):
+        small = t5_i2(100)
+        big = t15_i6(100)
+        assert small.avg_transaction_length < big.avg_transaction_length
+        assert small.avg_pattern_length < big.avg_pattern_length
+
+
+class TestAdditionalFamilies:
+    def test_t10_i4_parameters(self):
+        from repro.data.corpus import t10_i4
+
+        config = t10_i4(100, seed=1)
+        assert config.avg_transaction_length == 10.0
+        assert config.avg_pattern_length == 4.0
+
+    def test_t20_i6_parameters(self):
+        from repro.data.corpus import t20_i6
+
+        config = t20_i6(100, seed=1)
+        assert config.avg_transaction_length == 20.0
+        assert config.avg_pattern_length == 6.0
+
+    def test_families_order_by_basket_size(self):
+        from repro.data.corpus import t10_i4, t15_i6, t20_i6
+        from repro.data.quest import generate
+
+        lengths = [
+            generate(family(150, seed=3)).stats().avg_length
+            for family in (t10_i4, t15_i6, t20_i6)
+        ]
+        assert lengths == sorted(lengths)

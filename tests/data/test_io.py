@@ -1,0 +1,93 @@
+"""Tests for .dat file I/O."""
+
+import pytest
+
+from repro.core.transaction import TransactionDB
+from repro.data.io import (
+    read_dat,
+    read_partitioned,
+    write_dat,
+    write_partitioned,
+)
+
+
+@pytest.fixture
+def sample_db():
+    return TransactionDB([(1, 2, 3), (4,), (2, 5, 9)])
+
+
+class TestDatRoundTrip:
+    def test_round_trip(self, tmp_path, sample_db):
+        path = tmp_path / "db.dat"
+        write_dat(sample_db, path)
+        assert read_dat(path) == sample_db
+
+    def test_file_format(self, tmp_path, sample_db):
+        path = tmp_path / "db.dat"
+        write_dat(sample_db, path)
+        assert path.read_text() == "1 2 3\n4\n2 5 9\n"
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 2\n\n3 4\n   \n")
+        assert len(read_dat(path)) == 2
+
+    def test_read_canonicalizes_messy_rows(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("3 1 2 1\n")
+        assert read_dat(path)[0] == (1, 2, 3)
+
+    def test_empty_db(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        write_dat(TransactionDB([]), path)
+        assert len(read_dat(path)) == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_dat(tmp_path / "nope.dat")
+
+
+class TestPartitionedIO:
+    def test_round_trip(self, tmp_path, sample_db):
+        paths = write_partitioned(sample_db, tmp_path, 2)
+        assert len(paths) == 2
+        assert read_partitioned(tmp_path) == sample_db
+
+    def test_file_naming(self, tmp_path, sample_db):
+        paths = write_partitioned(sample_db, tmp_path, 3, stem="node")
+        assert [p.name for p in paths] == [
+            "node-0000.dat",
+            "node-0001.dat",
+            "node-0002.dat",
+        ]
+
+    def test_creates_directory(self, tmp_path, sample_db):
+        target = tmp_path / "deep" / "dir"
+        write_partitioned(sample_db, target, 2)
+        assert read_partitioned(target) == sample_db
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="part"):
+            read_partitioned(tmp_path)
+
+
+class TestGzipSupport:
+    def test_round_trip_gz(self, tmp_path, sample_db):
+        path = tmp_path / "db.dat.gz"
+        write_dat(sample_db, path)
+        assert read_dat(path) == sample_db
+
+    def test_gz_file_is_compressed(self, tmp_path, sample_db):
+        import gzip
+
+        path = tmp_path / "db.dat.gz"
+        write_dat(sample_db, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().strip() == "1 2 3"
+
+    def test_plain_and_gz_agree(self, tmp_path, sample_db):
+        plain = tmp_path / "db.dat"
+        compressed = tmp_path / "db.dat.gz"
+        write_dat(sample_db, plain)
+        write_dat(sample_db, compressed)
+        assert read_dat(plain) == read_dat(compressed)

@@ -1,0 +1,109 @@
+"""Tests for the Quest-style synthetic generator."""
+
+import pytest
+
+from repro.data.quest import QuestConfig, QuestGenerator, generate
+
+
+class TestQuestConfig:
+    def test_rejects_negative_transactions(self):
+        with pytest.raises(ValueError):
+            QuestConfig(num_transactions=-1)
+
+    def test_rejects_bad_items(self):
+        with pytest.raises(ValueError):
+            QuestConfig(num_transactions=1, num_items=0)
+
+    def test_rejects_bad_patterns(self):
+        with pytest.raises(ValueError):
+            QuestConfig(num_transactions=1, num_patterns=0)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            QuestConfig(num_transactions=1, avg_transaction_length=0)
+        with pytest.raises(ValueError):
+            QuestConfig(num_transactions=1, avg_pattern_length=-2)
+
+    def test_with_transactions(self):
+        config = QuestConfig(num_transactions=10, seed=3)
+        bigger = config.with_transactions(50)
+        assert bigger.num_transactions == 50
+        assert bigger.seed == config.seed
+
+    def test_with_seed(self):
+        config = QuestConfig(num_transactions=10, seed=3)
+        assert config.with_seed(9).seed == 9
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        config = QuestConfig(num_transactions=100, num_items=50, seed=11)
+        assert generate(config) == generate(config)
+
+    def test_different_seeds_differ(self):
+        base = QuestConfig(num_transactions=100, num_items=50, seed=1)
+        assert generate(base) != generate(base.with_seed(2))
+
+    def test_emits_requested_count(self):
+        config = QuestConfig(num_transactions=37, num_items=50, seed=0)
+        assert len(generate(config)) == 37
+
+    def test_zero_transactions(self):
+        config = QuestConfig(num_transactions=0, seed=0)
+        assert len(generate(config)) == 0
+
+    def test_transactions_are_canonical_and_in_universe(self):
+        config = QuestConfig(num_transactions=200, num_items=60, seed=5)
+        db = generate(config)
+        for transaction in db:
+            assert len(transaction) >= 1
+            assert list(transaction) == sorted(set(transaction))
+            assert transaction[0] >= 0
+            assert transaction[-1] < config.num_items
+
+    def test_average_length_tracks_parameter(self):
+        config = QuestConfig(
+            num_transactions=800,
+            avg_transaction_length=10.0,
+            num_items=500,
+            num_patterns=100,
+            seed=4,
+        )
+        stats = generate(config).stats()
+        # The corruption/overflow mechanics bias the mean a little; it
+        # must still sit in the right ballpark.
+        assert 5.0 < stats.avg_length < 16.0
+
+    def test_longer_config_gives_longer_transactions(self):
+        short = QuestConfig(
+            num_transactions=400, avg_transaction_length=5.0, seed=6
+        )
+        long = QuestConfig(
+            num_transactions=400, avg_transaction_length=20.0, seed=6
+        )
+        assert (
+            generate(short).stats().avg_length
+            < generate(long).stats().avg_length
+        )
+
+    def test_item_usage_is_skewed(self):
+        """Pattern weighting must make some items far more common."""
+        from collections import Counter
+
+        config = QuestConfig(
+            num_transactions=500, num_items=200, num_patterns=40, seed=9
+        )
+        counts = Counter()
+        for transaction in generate(config):
+            counts.update(transaction)
+        frequencies = sorted(counts.values(), reverse=True)
+        top_decile = sum(frequencies[: max(1, len(frequencies) // 10)])
+        assert top_decile > 0.2 * sum(frequencies)
+
+    def test_generator_reuse_continues_stream(self):
+        """A generator's stream differs from a fresh one (stateful rng)."""
+        config = QuestConfig(num_transactions=50, num_items=40, seed=2)
+        gen = QuestGenerator(config)
+        first = gen.generate()
+        second = gen.generate()
+        assert first != second

@@ -1,0 +1,75 @@
+"""Tests for mining-result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.data.serialize import load_frequent, result_to_dict, save_result
+from repro.parallel.runner import mine_parallel
+
+
+class TestSerialResult:
+    def test_round_trip(self, tmp_path, tiny_db):
+        result = Apriori(0.3).mine(tiny_db)
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        assert load_frequent(path) == result.frequent
+
+    def test_metadata(self, tiny_db):
+        result = Apriori(0.3).mine(tiny_db)
+        payload = result_to_dict(result)
+        assert payload["algorithm"] == "serial"
+        assert payload["min_count"] == result.min_count
+        assert payload["num_transactions"] == len(tiny_db)
+        assert len(payload["passes"]) == len(result.passes)
+
+
+class TestParallelResult:
+    def test_round_trip(self, tmp_path, tiny_db):
+        result = mine_parallel("HD", tiny_db, 0.3, 2, switch_threshold=5)
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        assert load_frequent(path) == result.frequent
+
+    def test_metadata(self, tiny_db):
+        result = mine_parallel("IDD", tiny_db, 0.3, 3)
+        payload = result_to_dict(result)
+        assert payload["algorithm"] == "IDD"
+        assert payload["num_processors"] == 3
+        assert payload["total_time"] == result.total_time
+        assert payload["passes"][0]["grid"] == [1, 3]
+
+    def test_file_is_valid_json(self, tmp_path, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        with path.open() as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "repro.mining-result.v1"
+
+
+class TestLoadErrors:
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a repro"):
+            load_frequent(path)
+
+    def test_rejects_corrupt_table(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro.mining-result.v1",
+                    "itemsets": [[1], [2]],
+                    "counts": [3],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            load_frequent(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_frequent(tmp_path / "missing.json")

@@ -1,0 +1,75 @@
+"""Tests for the experiment result container."""
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.experiments.common import ExperimentResult, check_all_equal
+from repro.parallel.runner import mine_parallel
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(
+        name="demo",
+        title="demo experiment",
+        x_label="processors",
+        y_label="seconds",
+    )
+    r.add_point("CD", 2, 1.5)
+    r.add_point("CD", 4, 1.2)
+    r.add_point("HD", 2, 1.0)
+    return r
+
+
+class TestExperimentResult:
+    def test_add_and_get(self, result):
+        assert result.get("CD", 2) == 1.5
+        assert result.x_values == [2, 4]
+
+    def test_get_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.get("CD", 99)
+        with pytest.raises(KeyError):
+            result.get("ZZ", 2)
+
+    def test_ratio(self, result):
+        assert result.ratio("CD", "HD", 2) == pytest.approx(1.5)
+
+    def test_to_table_renders_all_series(self, result):
+        table = result.to_table()
+        assert "demo experiment" in table
+        assert "CD" in table and "HD" in table
+        assert "1.5000" in table
+
+    def test_to_table_handles_missing_cells(self, result):
+        table = result.to_table()
+        # HD has no reading at x=4; the row must still render.
+        assert "4" in table
+
+    def test_notes_rendered(self, result):
+        result.notes.append("hello note")
+        assert "note: hello note" in result.to_table()
+
+    def test_custom_format(self, result):
+        table = result.to_table("{:10.1f}")
+        assert "1.5" in table
+
+
+class TestCheckAllEqual:
+    def test_accepts_matching_results(self, tiny_db):
+        runs = [
+            mine_parallel("CD", tiny_db, 0.3, 2),
+            mine_parallel("IDD", tiny_db, 0.3, 2),
+            Apriori(0.3).mine(tiny_db),
+        ]
+        check_all_equal(runs, context="test")
+
+    def test_single_result_is_trivially_ok(self, tiny_db):
+        check_all_equal([mine_parallel("CD", tiny_db, 0.3, 2)])
+
+    def test_detects_mismatch(self, tiny_db):
+        a = mine_parallel("CD", tiny_db, 0.3, 2)
+        b = mine_parallel("CD", tiny_db, 0.3, 2)
+        b.frequent[(42, 43)] = 1
+        with pytest.raises(AssertionError, match="disagrees"):
+            check_all_equal([a, b], context="mismatch")

@@ -1,0 +1,318 @@
+"""Small-scale runs of every experiment, asserting the paper's shapes.
+
+Each experiment is executed with reduced parameters (fewer processors,
+smaller databases) so the whole module stays fast; the assertions check
+the *qualitative* claims the full-scale benchmarks reproduce.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+    run_imbalance,
+    run_table2,
+)
+from repro.parallel.hybrid import choose_grid
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "figure14",
+            "figure15",
+            "table2",
+            "imbalance",
+            "hpa_comm",
+            "ablation_hashtree",
+            "ablation_partition",
+            "ablation_bitmap",
+            "ablation_hd_threshold",
+            "ablation_overlap",
+            "topology",
+            "ablation_candgen",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("figure99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment(
+            "table2", num_transactions=200, num_processors=4,
+            switch_threshold=100, min_support=0.05,
+        )
+        assert result.name == "table2"
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # The default (paper-shaped) workload at reduced processor
+        # counts; the DD-vs-CD crossover needs the N-heavier regime.
+        return run_figure10(
+            processor_counts=(4, 8, 16),
+            dd_max_processors=16,
+        )
+
+    def test_all_series_present(self, result):
+        assert set(result.series) == {"CD", "DD", "DD+comm", "IDD", "HD"}
+
+    def test_dd_is_worst_and_diverging(self, result):
+        assert result.get("DD", 16) > result.get("CD", 16)
+        assert result.get("DD", 16) > result.get("DD", 4)
+
+    def test_dd_comm_improves_on_dd(self, result):
+        assert result.get("DD+comm", 16) < result.get("DD", 16)
+
+    def test_idd_beats_dd(self, result):
+        for p in (4, 8, 16):
+            assert result.get("IDD", p) < result.get("DD", p)
+
+    def test_hd_competitive_with_cd(self, result):
+        assert result.get("HD", 16) <= result.get("CD", 16) * 1.1
+
+    def test_dd_cap_respected(self):
+        capped = run_figure10(
+            tx_per_processor=40,
+            min_support=0.03,
+            processor_counts=(2, 4),
+            dd_max_processors=2,
+            max_k=2,
+        )
+        assert 4 not in capped.series["DD"]
+        assert 4 in capped.series["CD"]
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure11(
+            tx_per_processor=60,
+            min_support=0.02,
+            processor_counts=(1, 2, 4, 8),
+        )
+
+    def test_idd_visits_decrease_with_p(self, result):
+        series = [result.get("IDD", p) for p in (1, 2, 4, 8)]
+        assert series == sorted(series, reverse=True)
+
+    def test_idd_falls_much_faster_than_dd(self, result):
+        """DD's visits must NOT drop by the full factor of P."""
+        dd_ratio = result.get("DD", 1) / result.get("DD", 8)
+        idd_ratio = result.get("IDD", 1) / result.get("IDD", 8)
+        assert dd_ratio < 8 / 2
+        assert idd_ratio > dd_ratio
+
+    def test_curves_nearly_coincide_serially(self, result):
+        assert result.get("IDD", 1) <= result.get("DD", 1)
+        assert result.get("IDD", 1) == pytest.approx(
+            result.get("DD", 1), rel=0.25
+        )
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure12(
+            num_transactions=1200,
+            num_processors=8,
+            support_sweep=(0.03, 0.015, 0.008),
+            memory_candidates=15_000,
+            switch_threshold=2000,
+        )
+
+    def test_candidate_axis_is_increasing(self, result):
+        assert result.x_values == sorted(result.x_values)
+
+    def test_cd_falls_behind_as_candidates_grow(self, result):
+        largest = result.x_values[-1]
+        assert result.get("CD", largest) > result.get("IDD", largest)
+        assert result.get("CD", largest) > result.get("HD", largest)
+
+    def test_cd_penalty_grows_along_sweep(self, result):
+        first, last = result.x_values[0], result.x_values[-1]
+        assert result.ratio("CD", "IDD", last) > result.ratio(
+            "CD", "IDD", first
+        )
+
+    def test_memory_forces_extra_scans(self, result):
+        last = result.x_values[-1]
+        assert result.extras[("CD", last, "max_scans")] > 1
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure13(
+            num_transactions=1500,
+            min_support=0.01,
+            processor_counts=(2, 4, 8),
+            switch_threshold=2000,
+        )
+
+    def test_speedups_grow_with_p(self, result):
+        for algorithm in ("IDD", "HD"):
+            series = [result.get(algorithm, p) for p in (2, 4, 8)]
+            assert series == sorted(series)
+
+    def test_hd_at_least_matches_cd(self, result):
+        assert result.get("HD", 8) >= result.get("CD", 8)
+
+    def test_cd_speedup_saturates(self, result):
+        """CD's serial tree build must cost it speedup at higher P."""
+        assert result.get("CD", 8) < 8
+
+
+class TestFigure14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure14(
+            transaction_counts=(400, 800, 1600),
+            min_support=0.02,
+            num_processors=8,
+            switch_threshold=500,
+        )
+
+    def test_times_grow_with_n(self, result):
+        for algorithm in ("CD", "IDD", "HD"):
+            series = [result.get(algorithm, n) for n in (400, 800, 1600)]
+            assert series == sorted(series)
+
+    def test_hd_below_cd_everywhere(self, result):
+        for n in (400, 800, 1600):
+            assert result.get("HD", n) <= result.get("CD", n) * 1.1
+
+
+class TestFigure15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure15(
+            num_transactions=800,
+            support_sweep=(0.03, 0.015, 0.008),
+            num_processors=8,
+            memory_candidates=400,
+            switch_threshold=100,
+        )
+
+    def test_cd_grows_steeply_with_m(self, result):
+        series = [result.get("CD", x) for x in result.x_values]
+        assert series == sorted(series)
+        assert series[-1] > series[0] * 2
+
+    def test_idd_overtakes_cd_at_large_m(self, result):
+        largest = result.x_values[-1]
+        assert result.get("IDD", largest) < result.get("CD", largest)
+
+    def test_hd_tracks_the_best(self, result):
+        for x in result.x_values:
+            best = min(result.get("CD", x), result.get("IDD", x))
+            assert result.get("HD", x) <= best * 1.5
+
+    def test_cd_scan_counts_grow(self, result):
+        scans = [
+            result.extras[("CD", x, "scans")] for x in result.x_values
+        ]
+        assert scans[-1] > scans[0]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(
+            num_transactions=600,
+            min_support=0.02,
+            num_processors=8,
+            switch_threshold=200,
+        )
+
+    def test_grids_multiply_to_p(self, result):
+        for k in result.x_values:
+            assert result.get("G", k) * result.get("P/G", k) == 8
+
+    def test_grid_follows_choose_grid(self, result):
+        for k in result.x_values:
+            expected = choose_grid(int(result.get("candidates", k)), 200, 8)
+            assert result.get("G", k) == expected
+
+    def test_final_passes_collapse_to_cd(self, result):
+        last = result.x_values[-1]
+        assert result.get("G", last) == 1
+
+
+class TestImbalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_imbalance(
+            tx_per_processor=80,
+            min_support=0.02,
+            processor_counts=(2, 8),
+        )
+
+    def test_imbalances_non_negative(self, result):
+        for series in result.series.values():
+            for value in series.values():
+                assert value >= 0.0
+
+    def test_time_imbalance_exceeds_candidate_imbalance(self, result):
+        """The paper's Section III-C observation, at the larger P."""
+        assert result.get("compute_time", 8) >= result.get("candidates", 8)
+
+
+class TestHpaComm:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import run_hpa_comm
+
+        return run_hpa_comm(
+            num_transactions=300, num_processors=8, pass_numbers=(2, 3, 4)
+        )
+
+    def test_idd_volume_is_flat_in_k(self, result):
+        values = {result.get("IDD", k) for k in (2, 3, 4)}
+        assert len(values) == 1
+
+    def test_hpa_volume_explodes_with_k(self, result):
+        """Section III-E: beyond k=2 HPA's volume grows combinatorially."""
+        assert result.get("HPA", 3) > 2 * result.get("HPA", 2)
+        assert result.get("HPA", 4) > 2 * result.get("HPA", 3)
+
+    def test_hpa_relative_cost_grows(self, result):
+        ratios = [
+            result.get("HPA", k) / result.get("IDD", k) for k in (2, 3, 4)
+        ]
+        assert ratios == sorted(ratios)
+
+
+class TestTopology:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.cluster.topology import FULLY_CONNECTED, RING
+        from repro.experiments import run_topology
+
+        return run_topology(
+            num_transactions=800,
+            num_processors=16,
+            topologies=(RING, FULLY_CONNECTED),
+        )
+
+    def test_ring_slower_than_fully_connected(self, result):
+        assert result.get("DD", 0) > result.get("DD", 1)
+
+    def test_idd_flat(self, result):
+        assert result.get("IDD", 0) == result.get("IDD", 1)
+
+    def test_contention_factors_recorded(self, result):
+        assert result.extras[("DD", 0, "contention_factor")] > result.extras[
+            ("DD", 1, "contention_factor")
+        ]

@@ -1,0 +1,94 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.plotting import SERIES_GLYPHS, render_chart
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(
+        name="demo",
+        title="demo chart",
+        x_label="processors",
+        y_label="seconds",
+    )
+    for p, cd, hd in [(4, 0.25, 0.11), (8, 0.26, 0.09), (16, 0.30, 0.10)]:
+        r.add_point("CD", p, cd)
+        r.add_point("HD", p, hd)
+    return r
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self, result):
+        chart = render_chart(result)
+        assert "demo chart" in chart
+        assert "* CD" in chart
+        assert "o HD" in chart
+        assert "(y = seconds)" in chart
+
+    def test_axis_labels(self, result):
+        chart = render_chart(result)
+        assert "(processors)" in chart
+        assert "4" in chart and "16" in chart
+
+    def test_log_scale_noted(self, result):
+        chart = render_chart(result, logx=True)
+        assert "log scale" in chart
+
+    def test_all_points_drawn(self, result):
+        chart = render_chart(result, width=40, height=12)
+        # Three CD points and three HD points.
+        assert chart.count("*") >= 3
+        assert chart.count("o") >= 3
+
+    def test_dimensions(self, result):
+        chart = render_chart(result, width=32, height=8)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) == 32
+
+    def test_series_subset(self, result):
+        chart = render_chart(result, series_names=["HD"])
+        assert "HD" in chart
+        assert "* HD" in chart  # first glyph goes to the only series
+        assert "CD" not in chart
+
+    def test_unknown_series_rejected(self, result):
+        with pytest.raises(ValueError, match="unknown series"):
+            render_chart(result, series_names=["ZZ"])
+
+    def test_empty_result_rejected(self):
+        empty = ExperimentResult("e", "t", "x", "y")
+        with pytest.raises(ValueError, match="no plottable"):
+            render_chart(empty)
+
+    def test_tiny_dimensions_rejected(self, result):
+        with pytest.raises(ValueError, match="at least"):
+            render_chart(result, width=4, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        r = ExperimentResult("flat", "flat", "x", "y")
+        r.add_point("A", 1, 5.0)
+        r.add_point("A", 2, 5.0)
+        chart = render_chart(r)
+        assert "* A" in chart
+
+    def test_single_point_series(self):
+        r = ExperimentResult("one", "one point", "x", "y")
+        r.add_point("A", 3, 1.0)
+        chart = render_chart(r)
+        assert "*" in chart
+
+    def test_deterministic(self, result):
+        assert render_chart(result) == render_chart(result)
+
+    def test_glyph_cycling_beyond_palette(self):
+        r = ExperimentResult("many", "many series", "x", "y")
+        for i in range(len(SERIES_GLYPHS) + 2):
+            r.add_point(f"s{i}", 1, float(i))
+            r.add_point(f"s{i}", 2, float(i) + 0.5)
+        chart = render_chart(r)
+        assert f"s{len(SERIES_GLYPHS) + 1}" in chart

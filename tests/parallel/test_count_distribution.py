@@ -1,0 +1,82 @@
+"""Tests for the Count Distribution formulation."""
+
+import pytest
+
+from repro.cluster.machine import CRAY_T3E
+from repro.parallel.count_distribution import CountDistribution
+
+
+@pytest.fixture
+def result(medium_quest_db):
+    return CountDistribution(0.05, 4).mine(medium_quest_db)
+
+
+class TestCountDistribution:
+    def test_grid_is_cd_shaped(self, result):
+        for pass_stats in result.passes:
+            assert pass_stats.grid == (1, 4)
+
+    def test_no_candidate_imbalance(self, result):
+        """Candidates are replicated, so imbalance is zero by definition."""
+        for pass_stats in result.passes:
+            assert pass_stats.candidate_imbalance == 0.0
+
+    def test_each_transaction_counted_once(self, result, medium_quest_db):
+        """CD processes each transaction once per pass (no redundancy)."""
+        for pass_stats in result.passes:
+            if pass_stats.k >= 2 and pass_stats.tree_partitions == 1:
+                assert pass_stats.subset_stats.transactions_processed == len(
+                    medium_quest_db
+                )
+
+    def test_reduction_charged_every_pass(self, result):
+        assert result.breakdown.get("reduce", 0.0) > 0.0
+
+    def test_tree_build_not_parallelized(self, medium_quest_db):
+        """Per-processor tree-build time is independent of P."""
+        small = CountDistribution(0.05, 2).mine(medium_quest_db)
+        large = CountDistribution(0.05, 8).mine(medium_quest_db)
+        assert small.breakdown["tree_build"] == pytest.approx(
+            large.breakdown["tree_build"]
+        )
+
+    def test_subset_work_scales_down_with_processors(self, medium_quest_db):
+        small = CountDistribution(0.05, 2).mine(medium_quest_db)
+        large = CountDistribution(0.05, 8).mine(medium_quest_db)
+        assert large.breakdown["subset"] < small.breakdown["subset"]
+
+    def test_memory_pressure_forces_multiple_partitions(self, medium_quest_db):
+        miner = CountDistribution(
+            0.05, 2, machine=CRAY_T3E.with_memory(20)
+        )
+        result = miner.mine(medium_quest_db)
+        heavy_passes = [
+            p for p in result.passes if p.k >= 2 and p.num_candidates > 20
+        ]
+        assert heavy_passes
+        for pass_stats in heavy_passes:
+            assert pass_stats.tree_partitions > 1
+
+    def test_memory_pressure_costs_more_time(self, medium_quest_db):
+        free = CountDistribution(0.05, 2).mine(medium_quest_db)
+        tight = CountDistribution(
+            0.05, 2, machine=CRAY_T3E.with_memory(20)
+        ).mine(medium_quest_db)
+        assert tight.total_time > free.total_time
+
+    def test_io_charged_per_scan(self, medium_quest_db):
+        one_scan = CountDistribution(0.05, 2, charge_io=True).mine(
+            medium_quest_db
+        )
+        multi_scan = CountDistribution(
+            0.05,
+            2,
+            machine=CRAY_T3E.with_memory(20),
+            charge_io=True,
+        ).mine(medium_quest_db)
+        assert multi_scan.breakdown["io"] > one_scan.breakdown["io"]
+
+    def test_single_processor_has_no_comm(self, medium_quest_db):
+        result = CountDistribution(0.05, 1).mine(medium_quest_db)
+        assert result.breakdown.get("reduce", 0.0) == 0.0
+        assert result.breakdown.get("comm", 0.0) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the Data Distribution formulation (and DD+comm)."""
+
+import pytest
+
+from repro.parallel.data_distribution import DataDistribution
+
+
+@pytest.fixture
+def result(medium_quest_db):
+    return DataDistribution(0.05, 4).mine(medium_quest_db)
+
+
+class TestDataDistribution:
+    def test_rejects_unknown_comm_scheme(self):
+        with pytest.raises(ValueError, match="comm_scheme"):
+            DataDistribution(0.1, 2, comm_scheme="teleport")
+
+    def test_name_reflects_variant(self):
+        assert DataDistribution(0.1, 2).name == "DD"
+        assert DataDistribution(0.1, 2, comm_scheme="ring").name == "DD+comm"
+
+    def test_grid_is_dd_shaped(self, result):
+        for pass_stats in result.passes:
+            if pass_stats.k >= 2:
+                assert pass_stats.grid == (4, 1)
+
+    def test_redundant_work_every_processor_sees_every_transaction(
+        self, result, medium_quest_db
+    ):
+        for pass_stats in result.passes:
+            if pass_stats.k >= 2:
+                assert pass_stats.subset_stats.transactions_processed == (
+                    4 * len(medium_quest_db)
+                )
+
+    def test_round_robin_balances_candidate_counts(self, result):
+        for pass_stats in result.passes:
+            if pass_stats.k >= 2 and pass_stats.num_candidates >= 4:
+                assert pass_stats.candidate_imbalance < 0.5
+
+    def test_naive_comm_costs_more_than_ring(self, medium_quest_db):
+        naive = DataDistribution(0.05, 4).mine(medium_quest_db)
+        ring = DataDistribution(0.05, 4, comm_scheme="ring").mine(
+            medium_quest_db
+        )
+        assert naive.frequent == ring.frequent
+        naive_comm = naive.breakdown.get("comm", 0.0)
+        ring_comm = ring.breakdown.get("comm", 0.0)
+        assert naive_comm > ring_comm
+
+    def test_dd_slower_than_dd_comm(self, medium_quest_db):
+        """The paper's DD+comm experiment: same computation, better comm."""
+        naive = DataDistribution(0.05, 8).mine(medium_quest_db)
+        ring = DataDistribution(0.05, 8, comm_scheme="ring").mine(
+            medium_quest_db
+        )
+        assert naive.total_time > ring.total_time
+
+    def test_single_processor_degenerates_to_serial(self, medium_quest_db):
+        result = DataDistribution(0.05, 1).mine(medium_quest_db)
+        assert result.breakdown.get("comm", 0.0) == 0.0
+
+    def test_tree_build_is_parallelized(self, medium_quest_db):
+        """Each processor builds only its own M/P candidates."""
+        small = DataDistribution(0.05, 2).mine(medium_quest_db)
+        large = DataDistribution(0.05, 8).mine(medium_quest_db)
+        assert large.breakdown["tree_build"] < small.breakdown["tree_build"]

@@ -1,0 +1,116 @@
+"""Tests for the Hybrid Distribution formulation and its grid selection."""
+
+import pytest
+
+from repro.parallel.count_distribution import CountDistribution
+from repro.parallel.hybrid import HybridDistribution, choose_grid
+from repro.parallel.intelligent_dd import IntelligentDataDistribution
+
+
+class TestChooseGrid:
+    def test_paper_table2_schedule(self):
+        """Pin the exact Table II configurations (P=64, m=50K)."""
+        expected = {
+            351_000: 8,  # 8 x 8
+            4_348_000: 64,  # 64 x 1 (IDD)
+            115_000: 4,  # 4 x 16
+            76_000: 2,  # 2 x 32
+            56_000: 2,  # 2 x 32
+            34_000: 1,  # 1 x 64 (CD)
+        }
+        for candidates, g in expected.items():
+            assert choose_grid(candidates, 50_000, 64) == g
+
+    def test_below_threshold_is_cd(self):
+        assert choose_grid(10, 100, 8) == 1
+
+    def test_at_threshold_is_cd(self):
+        assert choose_grid(100, 100, 8) == 1
+
+    def test_huge_candidate_set_is_idd(self):
+        assert choose_grid(10**9, 10, 8) == 8
+
+    def test_result_divides_p(self):
+        for m in (1, 10, 100, 1000, 12345):
+            for p in (1, 2, 6, 12, 64):
+                g = choose_grid(m, 7, p)
+                assert p % g == 0
+                assert 1 <= g <= p
+
+    def test_rounds_up_to_next_divisor(self):
+        # ceil(115/50) = 3; next divisor of 64 is 4.
+        assert choose_grid(115, 50, 64) == 4
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            choose_grid(10, 0, 4)
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            choose_grid(10, 5, 0)
+
+
+class TestHybridDistribution:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            HybridDistribution(0.1, 4, switch_threshold=0)
+
+    def test_grid_recorded_per_pass(self, medium_quest_db):
+        result = HybridDistribution(0.05, 4, switch_threshold=50).mine(
+            medium_quest_db
+        )
+        for pass_stats in result.passes:
+            rows, cols = pass_stats.grid
+            assert rows * cols == 4
+
+    def test_large_threshold_behaves_like_cd(self, medium_quest_db):
+        hd = HybridDistribution(0.05, 4, switch_threshold=10**9).mine(
+            medium_quest_db
+        )
+        cd = CountDistribution(0.05, 4).mine(medium_quest_db)
+        assert hd.frequent == cd.frequent
+        for pass_stats in hd.passes:
+            assert pass_stats.grid == (1, 4)
+        # Same computation, same cost structure (small numerical tolerance).
+        assert hd.total_time == pytest.approx(cd.total_time, rel=1e-6)
+
+    def test_tiny_threshold_behaves_like_idd(self, medium_quest_db):
+        hd = HybridDistribution(0.05, 4, switch_threshold=1).mine(
+            medium_quest_db
+        )
+        idd = IntelligentDataDistribution(0.05, 4).mine(medium_quest_db)
+        assert hd.frequent == idd.frequent
+        for pass_stats in hd.passes:
+            if pass_stats.k >= 2:
+                assert pass_stats.grid == (4, 1)
+        assert hd.total_time == pytest.approx(idd.total_time, rel=1e-6)
+
+    def test_grid_tracks_candidate_count(self, medium_quest_db):
+        result = HybridDistribution(0.05, 4, switch_threshold=50).mine(
+            medium_quest_db
+        )
+        for pass_stats in result.passes:
+            if pass_stats.k < 2:
+                continue
+            g = choose_grid(pass_stats.num_candidates, 50, 4)
+            assert pass_stats.grid[0] == g
+
+    def test_reduction_along_rows_charged(self, medium_quest_db):
+        result = HybridDistribution(0.05, 4, switch_threshold=50).mine(
+            medium_quest_db
+        )
+        assert result.breakdown.get("reduce", 0.0) > 0.0
+
+    def test_non_divisible_grid_never_chosen(self, medium_quest_db):
+        result = HybridDistribution(0.05, 6, switch_threshold=30).mine(
+            medium_quest_db
+        )
+        for pass_stats in result.passes:
+            rows, cols = pass_stats.grid
+            assert rows * cols == 6
+
+    def test_single_processor(self, medium_quest_db):
+        result = HybridDistribution(0.05, 1, switch_threshold=10).mine(
+            medium_quest_db
+        )
+        assert result.num_processors == 1

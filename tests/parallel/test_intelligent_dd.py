@@ -1,0 +1,148 @@
+"""Tests for the Intelligent Data Distribution formulation."""
+
+import pytest
+
+from repro.cluster.machine import CRAY_T3E
+from repro.parallel.data_distribution import DataDistribution
+from repro.parallel.intelligent_dd import IntelligentDataDistribution
+
+
+@pytest.fixture
+def result(medium_quest_db):
+    return IntelligentDataDistribution(0.05, 4).mine(medium_quest_db)
+
+
+class TestIntelligentDataDistribution:
+    def test_grid_is_idd_shaped(self, result):
+        for pass_stats in result.passes:
+            if pass_stats.k >= 2:
+                assert pass_stats.grid == (4, 1)
+
+    def test_less_traversal_work_than_dd(self, medium_quest_db):
+        """The bitmap filter must cut root expansions and leaf visits."""
+        dd = DataDistribution(0.05, 4).mine(medium_quest_db)
+        idd = IntelligentDataDistribution(0.05, 4).mine(medium_quest_db)
+        compared = 0
+        for dd_pass, idd_pass in zip(dd.passes, idd.passes):
+            # Tiny candidate sets degenerate to single-leaf trees where
+            # the root expands nothing; compare substantial passes only.
+            if dd_pass.k < 2 or dd_pass.num_candidates < 100:
+                continue
+            compared += 1
+            assert (
+                idd_pass.subset_stats.root_items_expanded
+                < dd_pass.subset_stats.root_items_expanded
+            )
+            assert (
+                idd_pass.subset_stats.leaf_visits
+                <= dd_pass.subset_stats.leaf_visits
+            )
+        assert compared > 0
+
+    def test_faster_than_dd(self, medium_quest_db):
+        dd = DataDistribution(0.05, 8).mine(medium_quest_db)
+        idd = IntelligentDataDistribution(0.05, 8).mine(medium_quest_db)
+        assert idd.total_time < dd.total_time
+
+    def test_leaf_visits_scale_down_with_processors(self, medium_quest_db):
+        """Figure 11's IDD curve: visits per transaction fall with P."""
+        from repro.experiments.figure11 import aggregate_leaf_visits
+
+        few = IntelligentDataDistribution(0.05, 2).mine(medium_quest_db)
+        many = IntelligentDataDistribution(0.05, 8).mine(medium_quest_db)
+        assert aggregate_leaf_visits(many) < aggregate_leaf_visits(few)
+
+    def test_bitmap_ablation_increases_work(self, medium_quest_db):
+        with_bitmap = IntelligentDataDistribution(0.05, 4).mine(
+            medium_quest_db
+        )
+        without_bitmap = IntelligentDataDistribution(
+            0.05, 4, use_bitmap=False
+        ).mine(medium_quest_db)
+        assert without_bitmap.frequent == with_bitmap.frequent
+        assert without_bitmap.total_time >= with_bitmap.total_time
+
+    def test_refine_threshold_accepted(self, medium_quest_db):
+        refined = IntelligentDataDistribution(
+            0.05, 4, refine_threshold=10
+        ).mine(medium_quest_db)
+        plain = IntelligentDataDistribution(0.05, 4).mine(medium_quest_db)
+        assert refined.frequent == plain.frequent
+
+    def test_no_overlap_machine_is_slower(self, medium_quest_db):
+        overlapped = IntelligentDataDistribution(0.05, 4).mine(
+            medium_quest_db
+        )
+        blocking = IntelligentDataDistribution(
+            0.05, 4, machine=CRAY_T3E.with_overlap(False)
+        ).mine(medium_quest_db)
+        assert blocking.frequent == overlapped.frequent
+        assert blocking.total_time >= overlapped.total_time
+
+    def test_candidate_imbalance_recorded(self, result):
+        heavy = [p for p in result.passes if p.num_candidates >= 8]
+        assert heavy
+        for pass_stats in heavy:
+            assert pass_stats.candidate_imbalance >= 0.0
+
+    def test_single_processor(self, medium_quest_db):
+        result = IntelligentDataDistribution(0.05, 1).mine(medium_quest_db)
+        assert result.breakdown.get("comm", 0.0) == 0.0
+
+
+class TestPartitionStrategy:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="partition_strategy"):
+            IntelligentDataDistribution(0.1, 2, partition_strategy="magic")
+
+    def test_contiguous_strategy_same_results(self, medium_quest_db):
+        packed = IntelligentDataDistribution(0.05, 4).mine(medium_quest_db)
+        contiguous = IntelligentDataDistribution(
+            0.05, 4, partition_strategy="contiguous"
+        ).mine(medium_quest_db)
+        assert contiguous.frequent == packed.frequent
+
+    def test_contiguous_strategy_imbalances_more(self, medium_quest_db):
+        packed = IntelligentDataDistribution(0.05, 8).mine(medium_quest_db)
+        contiguous = IntelligentDataDistribution(
+            0.05, 8, partition_strategy="contiguous"
+        ).mine(medium_quest_db)
+        packed_imbalance = max(
+            p.candidate_imbalance for p in packed.passes if p.k >= 2
+        )
+        contiguous_imbalance = max(
+            p.candidate_imbalance for p in contiguous.passes if p.k >= 2
+        )
+        assert contiguous_imbalance >= packed_imbalance
+
+
+class TestSingleSource:
+    def test_results_identical(self, medium_quest_db):
+        normal = IntelligentDataDistribution(0.05, 4, charge_io=True).mine(
+            medium_quest_db
+        )
+        single = IntelligentDataDistribution(
+            0.05, 4, charge_io=True, single_source=True
+        ).mine(medium_quest_db)
+        assert single.frequent == normal.frequent
+
+    def test_io_lands_on_processor_zero(self, medium_quest_db):
+        single = IntelligentDataDistribution(
+            0.05, 4, charge_io=True, single_source=True
+        ).mine(medium_quest_db)
+        io_by_pid = [p.get("io", 0.0) for p in single.per_processor]
+        assert io_by_pid[0] > 0
+        assert all(v == 0.0 for v in io_by_pid[1:])
+
+    def test_distributed_io_spreads(self, medium_quest_db):
+        normal = IntelligentDataDistribution(0.05, 4, charge_io=True).mine(
+            medium_quest_db
+        )
+        io_by_pid = [p.get("io", 0.0) for p in normal.per_processor]
+        assert all(v > 0 for v in io_by_pid)
+
+    def test_no_io_flag_means_no_io(self, medium_quest_db):
+        single = IntelligentDataDistribution(
+            0.05, 4, single_source=True
+        ).mine(medium_quest_db)
+        assert single.breakdown.get("io", 0.0) == 0.0

@@ -1,0 +1,45 @@
+"""Tests for the real-multiprocessing CD backend."""
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.parallel.native import NativeCountDistribution
+
+
+class TestNativeCountDistribution:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            NativeCountDistribution(0.1, 0)
+
+    def test_rejects_bad_max_k(self):
+        with pytest.raises(ValueError):
+            NativeCountDistribution(0.1, 2, max_k=0)
+
+    def test_matches_serial_single_worker(self, tiny_db):
+        native = NativeCountDistribution(0.3, 1).mine(tiny_db)
+        serial = Apriori(0.3).mine(tiny_db)
+        assert native.frequent == serial.frequent
+
+    def test_matches_serial_multi_worker(self, medium_quest_db):
+        native = NativeCountDistribution(0.05, 2).mine(medium_quest_db)
+        serial = Apriori(0.05).mine(medium_quest_db)
+        assert native.frequent == serial.frequent
+
+    def test_max_k_respected(self, medium_quest_db):
+        native = NativeCountDistribution(0.05, 2, max_k=2).mine(
+            medium_quest_db
+        )
+        serial = Apriori(0.05, max_k=2).mine(medium_quest_db)
+        assert native.frequent == serial.frequent
+
+    def test_pass_traces_recorded(self, tiny_db):
+        result = NativeCountDistribution(0.3, 2).mine(tiny_db)
+        assert result.passes[0].k == 1
+        assert [t.k for t in result.passes] == list(
+            range(1, len(result.passes) + 1)
+        )
+
+    def test_empty_frequent_short_circuits(self, tiny_db):
+        result = NativeCountDistribution(1.0, 2).mine(tiny_db)
+        assert result.frequent == {}
+        assert len(result.passes) == 1

@@ -1,0 +1,74 @@
+"""Tests for parallel rule generation."""
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.core.rules import generate_rules
+from repro.parallel.rules import generate_rules_parallel
+
+
+@pytest.fixture(scope="module")
+def mined(request):
+    # medium_quest_db is function-scoped via conftest; rebuild here once.
+    from repro.data.corpus import t15_i6
+    from repro.data.quest import generate
+
+    db = generate(t15_i6(240, seed=5, num_items=200))
+    result = Apriori(0.05).mine(db)
+    return db, result
+
+
+class TestGenerateRulesParallel:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_rules_parallel({}, 10, 0.0, 4)
+        with pytest.raises(ValueError):
+            generate_rules_parallel({}, 0, 0.5, 4)
+        with pytest.raises(ValueError):
+            generate_rules_parallel({}, 10, 0.5, 0)
+
+    @pytest.mark.parametrize("num_processors", [1, 2, 4, 7])
+    def test_identical_to_serial(self, mined, num_processors):
+        db, result = mined
+        serial = generate_rules(result.frequent, len(db), 0.5)
+        parallel = generate_rules_parallel(
+            result.frequent, len(db), 0.5, num_processors
+        )
+        assert parallel.rules == serial
+
+    def test_identical_across_confidences(self, mined):
+        db, result = mined
+        for confidence in (0.2, 0.6, 0.95):
+            serial = generate_rules(result.frequent, len(db), confidence)
+            parallel = generate_rules_parallel(
+                result.frequent, len(db), confidence, 4
+            )
+            assert parallel.rules == serial
+
+    def test_cost_accounted(self, mined):
+        db, result = mined
+        parallel = generate_rules_parallel(result.frequent, len(db), 0.5, 4)
+        assert parallel.total_time > 0
+        assert parallel.breakdown.get("rulegen", 0.0) > 0
+        assert len(parallel) == len(parallel.rules)
+
+    def test_work_partitioned_over_processors(self, mined):
+        db, result = mined
+        parallel = generate_rules_parallel(result.frequent, len(db), 0.5, 4)
+        assert sum(parallel.itemsets_per_processor) == sum(
+            1 for s in result.frequent if len(s) >= 2
+        )
+        assert max(parallel.itemsets_per_processor) < sum(
+            parallel.itemsets_per_processor
+        )
+
+    def test_more_processors_reduce_time(self, mined):
+        db, result = mined
+        slow = generate_rules_parallel(result.frequent, len(db), 0.5, 1)
+        fast = generate_rules_parallel(result.frequent, len(db), 0.5, 8)
+        assert fast.total_time < slow.total_time
+
+    def test_empty_frequent_set(self):
+        parallel = generate_rules_parallel({(1,): 5}, 10, 0.5, 4)
+        assert parallel.rules == []
+        assert parallel.total_time >= 0

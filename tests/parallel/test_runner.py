@@ -1,0 +1,130 @@
+"""Tests for the runner facade and serial cross-check."""
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.parallel.base import MiningResult
+from repro.parallel.runner import (
+    ALGORITHMS,
+    compare_with_serial,
+    make_miner,
+    mine_parallel,
+)
+
+
+class TestMakeMiner:
+    def test_known_algorithms(self):
+        for name in ALGORITHMS:
+            miner = make_miner(name, 0.1, 4)
+            assert miner.num_processors == 4
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_miner("FOO", 0.1, 4)
+
+    def test_dd_comm_variant_configured(self):
+        miner = make_miner("DD+comm", 0.1, 4)
+        assert miner.comm_scheme == "ring"
+        assert miner.name == "DD+comm"
+
+    def test_kwargs_forwarded(self):
+        miner = make_miner("HD", 0.1, 4, switch_threshold=123)
+        assert miner.switch_threshold == 123
+
+
+class TestMineParallel:
+    def test_runs_end_to_end(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        assert result.algorithm == "CD"
+        assert result.num_processors == 2
+        assert result.total_time > 0
+
+    def test_result_metadata(self, tiny_db):
+        result = mine_parallel("IDD", tiny_db, 0.3, 3)
+        assert result.num_transactions == len(tiny_db)
+        assert result.min_count >= 1
+        assert isinstance(result, MiningResult)
+
+
+class TestCompareWithSerial:
+    def test_passes_on_correct_result(self, tiny_db):
+        result = mine_parallel("HD", tiny_db, 0.3, 2, switch_threshold=5)
+        serial = compare_with_serial(result, tiny_db)
+        assert serial.frequent == result.frequent
+
+    def test_accepts_precomputed_serial(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        serial = Apriori(0.3).mine(tiny_db)
+        assert compare_with_serial(result, tiny_db, serial) is serial
+
+    def test_detects_divergence(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        result.frequent.pop(next(iter(result.frequent)))
+        with pytest.raises(AssertionError, match="diverged"):
+            compare_with_serial(result, tiny_db)
+
+    def test_detects_extra_itemsets(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        result.frequent[(97, 98, 99)] = 5
+        with pytest.raises(AssertionError, match="diverged"):
+            compare_with_serial(result, tiny_db)
+
+
+class TestResultHelpers:
+    def test_pass_time_sums_to_total(self, medium_quest_db):
+        result = mine_parallel("CD", medium_quest_db, 0.05, 2)
+        total = sum(result.pass_time(p.k) for p in result.passes)
+        assert total == pytest.approx(result.total_time, rel=1e-9)
+
+    def test_pass_time_unknown_pass(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        with pytest.raises(KeyError):
+            result.pass_time(99)
+
+    def test_overhead_fractions_sum_to_one(self, medium_quest_db):
+        result = mine_parallel("IDD", medium_quest_db, 0.05, 4)
+        total_fraction = sum(
+            result.overhead_fraction(c) for c in result.breakdown
+        )
+        assert total_fraction == pytest.approx(1.0, rel=1e-6)
+
+    def test_per_processor_breakdowns_present(self, medium_quest_db):
+        result = mine_parallel("IDD", medium_quest_db, 0.05, 4)
+        assert len(result.per_processor) == 4
+        assert result.compute_imbalance("subset") >= 0.0
+
+    def test_compute_imbalance_empty_category(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        assert result.compute_imbalance("no_such_category") == 0.0
+
+    def test_itemsets_of_size(self, medium_quest_db):
+        result = mine_parallel("CD", medium_quest_db, 0.05, 2)
+        for itemset in result.itemsets_of_size(2):
+            assert len(itemset) == 2
+
+
+class TestParallelCandgen:
+    def test_results_unchanged(self, medium_quest_db):
+        baseline = mine_parallel("CD", medium_quest_db, 0.05, 4)
+        parallel = mine_parallel(
+            "CD", medium_quest_db, 0.05, 4, parallel_candgen=True
+        )
+        assert parallel.frequent == baseline.frequent
+
+    def test_candgen_time_reduced_for_large_candidate_sets(
+        self, medium_quest_db
+    ):
+        baseline = mine_parallel("IDD", medium_quest_db, 0.05, 8)
+        parallel = mine_parallel(
+            "IDD", medium_quest_db, 0.05, 8, parallel_candgen=True
+        )
+        assert (
+            parallel.breakdown["candgen"] < baseline.breakdown["candgen"]
+        )
+
+    def test_single_processor_identical(self, tiny_db):
+        baseline = mine_parallel("CD", tiny_db, 0.3, 1)
+        parallel = mine_parallel(
+            "CD", tiny_db, 0.3, 1, parallel_candgen=True
+        )
+        assert parallel.total_time == pytest.approx(baseline.total_time)

@@ -1,0 +1,51 @@
+"""Top-level package surface tests."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        """The flow shown in the package docstring must actually work."""
+        from repro import Apriori, generate_rules
+        from repro.data import supermarket
+
+        db = supermarket()
+        result = Apriori(min_support=0.4).mine(db)
+        rules = generate_rules(result.frequent, len(db), min_confidence=0.6)
+        assert rules
+
+    def test_parallel_docstring_flow(self):
+        from repro.data import supermarket
+        from repro.parallel import mine_parallel
+
+        db = supermarket()
+        result = mine_parallel(
+            "HD", db, min_support=0.4, num_processors=8, switch_threshold=100
+        )
+        assert result.algorithm == "HD"
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.cluster
+        import repro.core
+        import repro.data
+        import repro.experiments
+        import repro.parallel
+
+        for module in (
+            repro.analysis,
+            repro.cluster,
+            repro.core,
+            repro.data,
+            repro.experiments,
+            repro.parallel,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.transaction import TransactionDB
+from repro.data.io import write_dat
+
+
+@pytest.fixture
+def dat_file(tmp_path):
+    db = TransactionDB(
+        [(1, 2, 3), (1, 2), (2, 3), (1, 3), (1, 2, 3), (2, 3)]
+    )
+    path = tmp_path / "db.dat"
+    write_dat(db, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self, dat_file):
+        args = build_parser().parse_args(["mine", str(dat_file)])
+        assert args.min_support == 0.01
+        assert args.algorithm is None
+
+    def test_bad_algorithm_rejected(self, dat_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", str(dat_file), "--algorithm", "NOPE"]
+            )
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestMineCommand:
+    def test_serial_mine(self, dat_file, capsys):
+        exit_code = main(["mine", str(dat_file), "--min-support", "0.3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serial Apriori" in out
+        assert "frequent item-sets" in out
+
+    def test_parallel_mine(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine",
+                str(dat_file),
+                "--min-support",
+                "0.3",
+                "--algorithm",
+                "HD",
+                "--processors",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "HD on 2 simulated processors" in out
+        assert "response time" in out
+
+    def test_mine_with_rules(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine",
+                str(dat_file),
+                "--min-support",
+                "0.3",
+                "--min-confidence",
+                "0.6",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "rules at confidence" in out
+        assert "=>" in out
+
+    def test_mine_on_sp2(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine",
+                str(dat_file),
+                "--min-support",
+                "0.3",
+                "--algorithm",
+                "CD",
+                "--machine",
+                "sp2",
+            ]
+        )
+        assert exit_code == 0
+        assert "IBM SP2" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generates_file(self, tmp_path, capsys):
+        out_path = tmp_path / "synthetic.dat"
+        exit_code = main(
+            [
+                "generate",
+                "--transactions",
+                "50",
+                "--items",
+                "40",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        assert out_path.exists()
+        assert "wrote 50 transactions" in capsys.readouterr().out
+
+    def test_generated_file_is_minable(self, tmp_path, capsys):
+        out_path = tmp_path / "synthetic.dat"
+        main(
+            ["generate", "--transactions", "60", "--items", "30",
+             "--out", str(out_path), "--seed", "4"]
+        )
+        exit_code = main(
+            ["mine", str(out_path), "--min-support", "0.1"]
+        )
+        assert exit_code == 0
+
+
+class TestReportFlag:
+    def test_serial_report(self, dat_file, capsys):
+        exit_code = main(
+            ["mine", str(dat_file), "--min-support", "0.3", "--report"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serial Apriori run" in out
+        assert "pass" in out
+
+    def test_parallel_report(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine", str(dat_file), "--min-support", "0.3",
+                "--algorithm", "CD", "--processors", "2", "--report",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "CD run on 2 simulated processors" in out
+        assert "runtime decomposition" in out
+
+
+class TestChartFlag:
+    def test_experiment_chart(self, capsys, monkeypatch):
+        from repro.experiments.common import ExperimentResult
+
+        def fake_experiment(**kwargs):
+            r = ExperimentResult("table2", "fake", "pass", "value")
+            r.add_point("G", 2, 4)
+            r.add_point("G", 3, 2)
+            return r
+
+        import repro.cli as cli_module
+
+        monkeypatch.setitem(
+            cli_module.EXPERIMENTS, "table2", fake_experiment
+        )
+        exit_code = main(["experiment", "table2", "--chart"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

@@ -1,0 +1,64 @@
+"""Tests for run-report formatting."""
+
+import pytest
+
+from repro import Apriori, format_report
+from repro.parallel.runner import mine_parallel
+
+
+class TestSerialReport:
+    def test_sections_present(self, tiny_db):
+        report = format_report(Apriori(0.3).mine(tiny_db))
+        assert "serial Apriori run" in report
+        assert "min support: 0.3" in report
+        assert "pass" in report
+
+    def test_one_row_per_pass(self, tiny_db):
+        result = Apriori(0.3).mine(tiny_db)
+        report = format_report(result)
+        table_rows = [
+            l for l in report.splitlines() if l.strip() and l.strip()[0].isdigit()
+        ]
+        assert len(table_rows) == len(result.passes)
+
+    def test_size_histogram(self, tiny_db):
+        report = format_report(Apriori(0.3).mine(tiny_db))
+        assert "|F1|=" in report
+
+
+class TestParallelReport:
+    def test_sections_present(self, tiny_db):
+        result = mine_parallel("HD", tiny_db, 0.3, 2, switch_threshold=3)
+        report = format_report(result)
+        assert "HD run on 2 simulated processors" in report
+        assert "response time" in report
+        assert "runtime decomposition" in report
+
+    def test_grid_column(self, tiny_db):
+        result = mine_parallel("IDD", tiny_db, 0.3, 4)
+        report = format_report(result)
+        assert "4x1" in report
+
+    def test_decomposition_fractions(self, medium_quest_db):
+        result = mine_parallel("CD", medium_quest_db, 0.05, 4)
+        report = format_report(result)
+        assert "subset" in report
+        assert "% of response time" in report
+
+    def test_multi_scan_column(self, medium_quest_db):
+        from repro.cluster.machine import CRAY_T3E
+
+        result = mine_parallel(
+            "CD",
+            medium_quest_db,
+            0.05,
+            2,
+            machine=CRAY_T3E.with_memory(20),
+        )
+        report = format_report(result)
+        scan_values = {
+            int(l.split()[4])
+            for l in report.splitlines()
+            if l.strip() and l.strip()[0].isdigit()
+        }
+        assert max(scan_values) > 1
