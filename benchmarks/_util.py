@@ -9,9 +9,32 @@ EXPERIMENTS.md can reference the exact output.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Dict
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_core.json"
+
+
+def record_bench_medians(medians: Dict[str, float]) -> Dict[str, float]:
+    """Merge ``name -> median seconds`` entries into ``BENCH_core.json``.
+
+    The file lives at the repo root and accumulates across bench runs,
+    so a partial run (e.g. ``-k kernel``) refreshes only its own keys.
+    Returns the full mapping as written.
+    """
+    data: Dict[str, float] = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    data.update(medians)
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return data
 
 
 def run_and_report(benchmark, runner, name: str, y_format: str = "{:10.4f}", **params):

@@ -1,15 +1,22 @@
 """Core microbenchmarks (real repeated-round timings) and Table I.
 
 These measure the substrate itself — hash-tree construction, the subset
-operation, apriori_gen, and a full serial mining run — and pin the
-paper's Table I worked example.
+operation (on both counting kernels), apriori_gen, and a full serial
+mining run — and pin the paper's Table I worked example.  The kernel
+comparison bench also writes its medians to ``BENCH_core.json`` at the
+repo root.
 """
+
+import statistics
+import time
 
 import pytest
 
+from benchmarks._util import record_bench_medians
 from repro.core.apriori import Apriori
 from repro.core.candidates import generate_candidates
 from repro.core.hashtree import HashTree
+from repro.core.kernels import make_counter
 from repro.core.rules import rules_from_result
 from repro.data.corpus import supermarket, t15_i6
 from repro.data.quest import generate
@@ -67,6 +74,62 @@ def test_hashtree_subset_operation(benchmark, db, pass2_candidates):
 
     benchmark(count)
     assert tree.stats.transactions_processed >= len(transactions)
+
+
+def test_fast_kernel_subset_operation(benchmark, db, pass2_candidates):
+    """Same workload as the reference subset-operation bench, fast kernel."""
+    counter = make_counter(2, pass2_candidates, kernel="fast")
+    transactions = db.transactions[:100]
+
+    def count():
+        counter.count_database(transactions)
+
+    benchmark(count)
+    assert sum(counter.counts().values()) > 0
+
+
+def test_kernel_comparison_subset_operation(db, pass2_candidates):
+    """Reference vs fast kernel on the pass-2 subset-operation workload.
+
+    Times both kernels head to head, records the medians (plus the
+    speedup) to ``BENCH_core.json``, and enforces the two contracts the
+    fast kernel ships under: >= 2x faster here, byte-identical counts.
+    """
+    transactions = db.transactions[:100]
+    rounds = 5
+
+    def median_seconds(counter):
+        samples = []
+        for _ in range(rounds):
+            counter.reset_counts()
+            start = time.perf_counter()
+            counter.count_database(transactions)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    reference = make_counter(2, pass2_candidates, kernel="reference")
+    fast = make_counter(2, pass2_candidates, kernel="fast")
+    reference_median = median_seconds(reference)
+    fast_median = median_seconds(fast)
+    speedup = reference_median / fast_median
+
+    record_bench_medians(
+        {
+            "subset_pass2.reference": reference_median,
+            "subset_pass2.fast": fast_median,
+            "subset_pass2.speedup": speedup,
+        }
+    )
+    print(
+        f"\nsubset operation (pass 2, |C2|={len(pass2_candidates)}): "
+        f"reference {reference_median * 1e3:.2f} ms, "
+        f"fast {fast_median * 1e3:.2f} ms, {speedup:.2f}x"
+    )
+
+    assert reference.counts() == fast.counts()
+    assert speedup >= 2.0, (
+        f"fast kernel only {speedup:.2f}x over reference (need >= 2x)"
+    )
 
 
 def test_apriori_gen(benchmark, db):

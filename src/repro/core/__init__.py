@@ -13,6 +13,9 @@ from .candidates import (
 )
 from .counting import count_naive, count_with_hashtree, support_count
 from .hashtree import HashTree, HashTreeStats, TreeShape
+from .hashtree_flat import FlatHashTree
+from .kernels import KERNELS, make_counter, validate_kernel
+from .pass2 import PairCounter
 from .items import Item, Itemset, is_subset, itemset, validate_itemset
 from .partition import (
     CandidatePartition,
@@ -31,11 +34,14 @@ __all__ = [
     "AssociationRule",
     "CandidatePartition",
     "DBStats",
+    "FlatHashTree",
     "HashTree",
     "HashTreeStats",
     "Item",
     "ItemBitmap",
     "Itemset",
+    "KERNELS",
+    "PairCounter",
     "PassTrace",
     "StreamingApriori",
     "TransactionDB",
@@ -50,6 +56,7 @@ __all__ = [
     "generate_rules",
     "is_subset",
     "itemset",
+    "make_counter",
     "maximal_itemsets",
     "min_support_count",
     "partition_by_first_item",
@@ -58,4 +65,5 @@ __all__ = [
     "support_count",
     "support_histogram",
     "validate_itemset",
+    "validate_kernel",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from .candidates import generate_candidates
 from .hashtree import HashTree, HashTreeStats, TreeShape
 from .items import Itemset
+from .kernels import make_counter, validate_kernel
 from .transaction import TransactionDB
 
 __all__ = ["Apriori", "AprioriResult", "PassTrace", "min_support_count"]
@@ -106,6 +107,11 @@ class Apriori:
         max_k: optional cap on the pass number; ``None`` runs to the
             natural fixpoint.  The paper's Figures 13-15 time "size 3
             frequent item sets only", i.e. ``max_k=3``.
+        kernel: counting kernel — ``"fast"`` (default: flat-array tree,
+            triangular pass-2 counter, no work counters) or
+            ``"reference"`` (instrumented object tree; required when the
+            per-pass ``tree_stats`` feed the Section IV cost model).
+            Both kernels produce identical frequent item-sets and counts.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class Apriori:
         branching: int = 64,
         leaf_capacity: int = 16,
         max_k: Optional[int] = None,
+        kernel: str = "fast",
     ):
         if max_k is not None and max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
@@ -121,6 +128,7 @@ class Apriori:
         self.branching = branching
         self.leaf_capacity = leaf_capacity
         self.max_k = max_k
+        self.kernel = validate_kernel(kernel)
 
     def mine(self, db: TransactionDB) -> AprioriResult:
         """Mine all frequent item-sets of ``db``."""
@@ -139,17 +147,25 @@ class Apriori:
             candidates = generate_candidates(frequent_prev)
             if not candidates:
                 break
-            tree = self.build_tree(k, candidates)
-            tree.count_database(db)
-            frequent_k = tree.frequent(min_count)
+            counter = make_counter(
+                k,
+                candidates,
+                kernel=self.kernel,
+                branching=self.branching,
+                leaf_capacity=self.leaf_capacity,
+            )
+            counter.count_database(db)
+            frequent_k = counter.frequent(min_count)
             result.frequent.update(frequent_k)
             result.passes.append(
                 PassTrace(
                     k=k,
                     num_candidates=len(candidates),
                     num_frequent=len(frequent_k),
-                    tree_shape=tree.shape(),
-                    tree_stats=tree.stats,
+                    tree_shape=counter.shape(),
+                    tree_stats=(
+                        counter.stats if self.kernel == "reference" else None
+                    ),
                 )
             )
             frequent_prev = list(frequent_k)
@@ -157,7 +173,8 @@ class Apriori:
         return result
 
     def build_tree(self, k: int, candidates: Sequence[Itemset]) -> HashTree:
-        """Build a hash tree for one pass with this miner's parameters."""
+        """Build a reference hash tree for one pass with this miner's
+        parameters (instrumentation always available)."""
         tree = HashTree(
             k, branching=self.branching, leaf_capacity=self.leaf_capacity
         )

@@ -1,0 +1,92 @@
+"""Counting-kernel selection: ``"reference"`` vs ``"fast"``.
+
+The repository keeps two implementations of the paper's subset-counting
+kernel:
+
+* **reference** — :class:`repro.core.hashtree.HashTree`: per-node
+  objects, recursive traversal, full :class:`HashTreeStats`
+  instrumentation.  This is the kernel the Section IV cost model prices
+  and every archived figure/table was produced with.
+* **fast** — :class:`repro.core.hashtree_flat.FlatHashTree` (flat
+  arrays, iterative traversal, no stats on the hot path) plus
+  :class:`repro.core.pass2.PairCounter` for the dense pass-2 candidate
+  set.  Counts are bit-identical to the reference kernel on every
+  input; only the work counters are absent.
+
+:func:`make_counter` is the single decision point: drivers name a
+kernel and get back an object with the shared counting surface
+(``count_transaction`` / ``count_database`` / ``counts`` / ``frequent``
+/ ``shape`` / ``add_counts`` / ``reset_counts``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from .hashtree import HashTree
+from .hashtree_flat import FlatHashTree
+from .items import Itemset
+from .pass2 import PairCounter
+
+__all__ = ["KERNELS", "validate_kernel", "make_counter", "Counter"]
+
+KERNELS = ("reference", "fast")
+
+Counter = Union[HashTree, FlatHashTree, PairCounter]
+
+# A triangular pass-2 counter allocates one slot per item pair in the
+# span of the candidates.  apriori_gen's C2 fills the triangle exactly
+# (one candidate per slot); a memory-partitioned chunk or an externally
+# filtered pair set may not.  Below this fill ratio the triangle wastes
+# memory without buying speed, so the facade falls back to the flat tree.
+_PASS2_MIN_FILL = 1 / 3
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` if it names a known counting kernel.
+
+    Raises:
+        ValueError: for anything other than ``"reference"`` or ``"fast"``.
+    """
+    if kernel not in KERNELS:
+        known = ", ".join(repr(k) for k in KERNELS)
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of: {known}")
+    return kernel
+
+
+def make_counter(
+    k: int,
+    candidates: Sequence[Itemset],
+    kernel: str = "fast",
+    branching: int = 64,
+    leaf_capacity: int = 16,
+    needs_root_filter: bool = False,
+) -> Counter:
+    """Build a support counter over one pass's candidates.
+
+    Args:
+        k: candidate size (the pass number).
+        candidates: canonical candidates of size ``k``.
+        kernel: ``"reference"`` (instrumented object tree) or ``"fast"``
+            (flat tree; triangular pair counter for a dense C2).
+        branching / leaf_capacity: hash tree geometry (ignored by the
+            pair counter).
+        needs_root_filter: the caller will pass ``root_filter`` when
+            counting (IDD-style pruning); forces a tree kernel, since
+            the pair counter has no root level.
+
+    Returns:
+        A counter exposing the shared counting surface.
+    """
+    validate_kernel(kernel)
+    if kernel == "reference":
+        tree = HashTree(k, branching=branching, leaf_capacity=leaf_capacity)
+        tree.insert_all(candidates)
+        return tree
+    if k == 2 and candidates and not needs_root_filter:
+        counter = PairCounter(candidates)
+        if counter.triangle_size * _PASS2_MIN_FILL <= len(candidates):
+            return counter
+    tree = FlatHashTree(k, branching=branching, leaf_capacity=leaf_capacity)
+    tree.insert_all(candidates)
+    return tree

@@ -20,8 +20,8 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from .apriori import AprioriResult, PassTrace, min_support_count
 from .candidates import generate_candidates
-from .hashtree import HashTree
 from .items import Itemset
+from .kernels import make_counter, validate_kernel
 
 __all__ = ["StreamingApriori", "TransactionSource"]
 
@@ -35,6 +35,9 @@ class StreamingApriori:
         min_support: fractional minimum support in (0, 1].
         branching / leaf_capacity: hash tree geometry.
         max_k: optional pass cap.
+        kernel: counting kernel — ``"reference"`` (default; keeps the
+            per-pass ``tree_stats`` instrumentation) or ``"fast"``
+            (uninstrumented flat kernel, ``tree_stats`` left ``None``).
 
     The source callable is invoked once per pass and must yield the same
     canonical transactions each time (a file re-opened per pass, a
@@ -47,6 +50,7 @@ class StreamingApriori:
         branching: int = 64,
         leaf_capacity: int = 16,
         max_k: Optional[int] = None,
+        kernel: str = "reference",
     ):
         if max_k is not None and max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
@@ -54,6 +58,7 @@ class StreamingApriori:
         self.branching = branching
         self.leaf_capacity = leaf_capacity
         self.max_k = max_k
+        self.kernel = validate_kernel(kernel)
 
     def mine(self, source: TransactionSource) -> AprioriResult:
         """Mine all frequent item-sets of the streamed database.
@@ -99,28 +104,33 @@ class StreamingApriori:
             candidates = generate_candidates(frequent_prev)
             if not candidates:
                 break
-            tree = HashTree(
-                k, branching=self.branching, leaf_capacity=self.leaf_capacity
+            counter = make_counter(
+                k,
+                candidates,
+                kernel=self.kernel,
+                branching=self.branching,
+                leaf_capacity=self.leaf_capacity,
             )
-            tree.insert_all(candidates)
             scanned = 0
             for transaction in source():
                 scanned += 1
-                tree.count_transaction(transaction)
+                counter.count_transaction(transaction)
             if scanned != num_transactions:
                 raise ValueError(
                     f"transaction source is not stable across scans: "
                     f"pass 1 saw {num_transactions}, pass {k} saw {scanned}"
                 )
-            frequent_k = tree.frequent(min_count)
+            frequent_k = counter.frequent(min_count)
             result.frequent.update(frequent_k)
             result.passes.append(
                 PassTrace(
                     k=k,
                     num_candidates=len(candidates),
                     num_frequent=len(frequent_k),
-                    tree_shape=tree.shape(),
-                    tree_stats=tree.stats,
+                    tree_shape=counter.shape(),
+                    tree_stats=(
+                        counter.stats if self.kernel == "reference" else None
+                    ),
                 )
             )
             frequent_prev = sorted(frequent_k)

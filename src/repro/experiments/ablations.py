@@ -73,8 +73,13 @@ def run_ablation_hashtree(
     reference = None
     for branching in branchings:
         for capacity in leaf_capacities:
+            # The geometry ablation reads the work counters, so it must
+            # run on the instrumented reference kernel.
             run = Apriori(
-                min_support, branching=branching, leaf_capacity=capacity
+                min_support,
+                branching=branching,
+                leaf_capacity=capacity,
+                kernel="reference",
             ).mine(db)
             if reference is None:
                 reference = run.frequent

@@ -28,8 +28,10 @@ from ..cluster.cluster import VirtualCluster
 from ..cluster.machine import CRAY_T3E, MachineSpec
 from ..core.apriori import min_support_count
 from ..core.candidates import generate_candidates
-from ..core.hashtree import HashTreeStats
+from ..core.hashtree import HashTree, HashTreeStats
+from ..core.hashtree_flat import FlatHashTree
 from ..core.items import Itemset
+from ..core.kernels import validate_kernel
 from ..core.transaction import TransactionDB
 
 __all__ = ["ParallelMiner", "MiningResult", "ParallelPassStats"]
@@ -173,6 +175,17 @@ class ParallelMiner(ABC):
             per-processor generation cost for O(|Ck|/P) compute plus the
             exchange; worthwhile exactly when candidate sets are large —
             the same regime where CD's tree build hurts.
+        kernel: counting kernel for the per-processor hash trees.
+            ``"reference"`` (default) is the instrumented object tree
+            every archived experiment was produced with.  ``"fast"``
+            swaps in the flat-array tree in *instrumented* mode: its
+            work counters are bit-identical to the reference tree's, so
+            the simulated timings are unchanged, only the wall-clock
+            cost of running the simulation drops.  The uninstrumented
+            fast path (and the pass-2 pair counter) are reserved for
+            real mining (:class:`~repro.core.apriori.Apriori`,
+            :class:`~repro.parallel.native.NativeCountDistribution`)
+            because the cost model prices the counters.
     """
 
     name: str = "parallel"
@@ -191,6 +204,7 @@ class ParallelMiner(ABC):
         charge_io: bool = False,
         trace=None,
         parallel_candgen: bool = False,
+        kernel: str = "reference",
     ):
         if num_processors < 1:
             raise ValueError(
@@ -207,6 +221,7 @@ class ParallelMiner(ABC):
         self.charge_io = charge_io
         self.trace = trace
         self.parallel_candgen = parallel_candgen
+        self.kernel = validate_kernel(kernel)
 
     # ------------------------------------------------------------------
     # Outer loop
@@ -357,6 +372,29 @@ class ParallelMiner(ABC):
     # ------------------------------------------------------------------
     # Helpers shared by subclasses
     # ------------------------------------------------------------------
+
+    def build_tree(self, k: int, candidates: Optional[Sequence[Itemset]] = None):
+        """Build one pass tree with this miner's geometry and kernel.
+
+        Returns an instrumented tree: either the reference
+        :class:`HashTree` or, with ``kernel="fast"``, a
+        :class:`FlatHashTree` in instrumented mode whose counters (and
+        therefore every derived simulated timing) are bit-identical.
+        """
+        if self.kernel == "fast":
+            tree = FlatHashTree(
+                k,
+                branching=self.branching,
+                leaf_capacity=self.leaf_capacity,
+                instrumented=True,
+            )
+        else:
+            tree = HashTree(
+                k, branching=self.branching, leaf_capacity=self.leaf_capacity
+            )
+        if candidates is not None:
+            tree.insert_all(candidates)
+        return tree
 
     def _frequent_set_bytes(self, num_frequent: int, k: int) -> float:
         """Wire size of a frequent-set exchange message."""

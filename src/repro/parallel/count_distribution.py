@@ -19,7 +19,7 @@ from typing import Dict, Sequence, Tuple
 from ..cluster.cluster import VirtualCluster
 from ..cluster.machine import subset_time
 from ..cluster.memory import partition_for_memory
-from ..core.hashtree import HashTree, HashTreeStats
+from ..core.hashtree import HashTreeStats
 from ..core.items import Itemset
 from ..core.transaction import TransactionDB
 from .base import ParallelMiner, ParallelPassStats
@@ -51,10 +51,7 @@ class CountDistribution(ParallelMiner):
             # Every processor builds the identical (chunk of the) tree.
             # One physical tree stands in for the P replicas; each
             # processor is charged the full build.
-            tree = HashTree(
-                k, branching=self.branching, leaf_capacity=self.leaf_capacity
-            )
-            tree.insert_all(chunk)
+            tree = self.build_tree(k, chunk)
             build_time = len(chunk) * spec.t_insert
             for pid in range(num_processors):
                 cluster.advance(pid, build_time, "tree_build")

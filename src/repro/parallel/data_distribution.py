@@ -30,7 +30,7 @@ from typing import Dict, Sequence, Tuple
 from ..cluster.cluster import VirtualCluster
 from ..cluster.collectives import all_to_all_broadcast_naive_time
 from ..cluster.machine import subset_time
-from ..core.hashtree import HashTree, HashTreeStats
+from ..core.hashtree import HashTreeStats
 from ..core.items import Itemset
 from ..core.partition import partition_round_robin
 from ..core.transaction import TransactionDB
@@ -78,10 +78,7 @@ class DataDistribution(ParallelMiner):
         partition = partition_round_robin(candidates, num_processors)
         trees = []
         for pid, owned in enumerate(partition.assignments):
-            tree = HashTree(
-                k, branching=self.branching, leaf_capacity=self.leaf_capacity
-            )
-            tree.insert_all(owned)
+            tree = self.build_tree(k, owned)
             cluster.advance(pid, len(owned) * spec.t_insert, "tree_build")
             if self.charge_io:
                 cluster.charge_io(

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.cluster import VirtualCluster
 from ..cluster.machine import subset_time
-from ..core.hashtree import HashTree, HashTreeStats
+from ..core.hashtree import HashTreeStats
 from ..core.items import Itemset
 from ..core.partition import partition_by_first_item
 from ..core.transaction import TransactionDB
@@ -128,12 +128,9 @@ class HybridDistribution(ParallelMiner):
         # One physical tree per row stands in for that row's `cols`
         # replicas; after all columns stream their blocks through it, its
         # counts equal the row's post-reduction global counts.
-        row_trees: List[HashTree] = []
+        row_trees: List = []
         for row, owned in enumerate(partition.assignments):
-            tree = HashTree(
-                k, branching=self.branching, leaf_capacity=self.leaf_capacity
-            )
-            tree.insert_all(owned)
+            tree = self.build_tree(k, owned)
             build_time = len(owned) * spec.t_insert
             for col in range(cols):
                 cluster.advance(row * cols + col, build_time, "tree_build")

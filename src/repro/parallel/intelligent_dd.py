@@ -28,7 +28,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..cluster.cluster import VirtualCluster
 from ..cluster.machine import subset_time
-from ..core.hashtree import HashTree, HashTreeStats
+from ..core.hashtree import HashTreeStats
 from ..core.items import Itemset
 from ..core.partition import (
     CandidatePartition,
@@ -102,10 +102,7 @@ class IntelligentDataDistribution(ParallelMiner):
 
         trees = []
         for pid, owned in enumerate(partition.assignments):
-            tree = HashTree(
-                k, branching=self.branching, leaf_capacity=self.leaf_capacity
-            )
-            tree.insert_all(owned)
+            tree = self.build_tree(k, owned)
             cluster.advance(pid, len(owned) * spec.t_insert, "tree_build")
             if self.charge_io and not self.single_source:
                 cluster.charge_io(

@@ -7,38 +7,140 @@ formulation using ``multiprocessing`` — CD is the one formulation whose
 processes share nothing but a count reduction, so it maps cleanly onto
 OS processes despite Python's GIL.
 
-Per pass, each worker receives the candidate list and its block of
-transactions, builds the (replicated) hash tree, counts its block, and
-returns its local count table; the parent performs the "global
-reduction" by summing the tables.  This mirrors CD exactly, including
-its weakness: the tree build is repeated in every worker.
+The workers form a **persistent pool**: one process per transaction
+block, created once per :meth:`NativeCountDistribution.mine` call.
+Each worker receives its block exactly once — by fork inheritance where
+the start method supports it, by a one-shot pickle at process start
+otherwise — and then serves *every* pass over a pipe, receiving only
+``(k, candidates)`` and returning a bare count vector aligned with the
+candidate order.  This removes the per-pass costs the naive
+``Pool.map`` version paid: re-pickling the transaction partition every
+pass and shipping candidate tuples back with every count.
 
-The result is bit-identical to :class:`repro.core.apriori.Apriori`.
+Counting inside a worker goes through the fast kernel by default (flat
+hash tree, triangular pass-2 counter); the result is bit-identical to
+:class:`repro.core.apriori.Apriori` with either kernel.
 """
 
 from __future__ import annotations
 
 from multiprocessing import get_context
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.candidates import generate_candidates
-from ..core.hashtree import HashTree
 from ..core.items import Itemset
+from ..core.kernels import make_counter, validate_kernel
 from ..core.transaction import TransactionDB
 
 __all__ = ["NativeCountDistribution"]
 
 
-def _count_block(
-    args: Tuple[int, Sequence[Itemset], Sequence[Itemset], int, int],
-) -> Dict[Itemset, int]:
-    """Worker: build the pass tree and count one transaction block."""
-    k, candidates, transactions, branching, leaf_capacity = args
-    tree = HashTree(k, branching=branching, leaf_capacity=leaf_capacity)
-    tree.insert_all(candidates)
-    tree.count_database(transactions)
-    return dict(tree.counts())
+def _worker_main(
+    conn,
+    transactions: Sequence[Itemset],
+    branching: int,
+    leaf_capacity: int,
+    kernel: str,
+) -> None:
+    """Worker loop: hold one transaction block, count pass after pass.
+
+    Receives ``(k, candidates)`` messages and replies with the block's
+    count vector in candidate order; a ``None`` message shuts the
+    worker down.  The block itself arrived once, at process start.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            k, candidates = message
+            counter = make_counter(
+                k,
+                candidates,
+                kernel=kernel,
+                branching=branching,
+                leaf_capacity=leaf_capacity,
+            )
+            counter.count_database(transactions)
+            counts = counter.counts()
+            conn.send([counts[c] for c in candidates])
+    except EOFError:
+        pass
+    finally:
+        conn.close()
+
+
+class _WorkerPool:
+    """Persistent per-``mine()`` pool of counting processes.
+
+    One process per transaction block.  Under the ``fork`` start method
+    the block is inherited through the process image; under ``spawn`` /
+    ``forkserver`` it is pickled exactly once into the child's argument
+    tuple.  Either way, passes after the first ship only candidates.
+    """
+
+    def __init__(
+        self,
+        context,
+        blocks: Sequence[Sequence[Itemset]],
+        branching: int,
+        leaf_capacity: int,
+        kernel: str,
+    ):
+        self._processes: List = []
+        self._connections: List = []
+        try:
+            for block in blocks:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, block, branching, leaf_capacity, kernel),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+        except Exception:
+            self.shutdown()
+            raise
+
+    def count_pass(
+        self, k: int, candidates: Sequence[Itemset]
+    ) -> List[int]:
+        """Fan one pass out to every worker; return the summed count vector."""
+        for conn in self._connections:
+            conn.send((k, candidates))
+        totals = [0] * len(candidates)
+        for conn in self._connections:
+            vector = conn.recv()
+            for index, count in enumerate(vector):
+                totals[index] += count
+        return totals
+
+    def shutdown(self) -> None:
+        """Send shutdown sentinels and reap the worker processes."""
+        for conn in self._connections:
+            try:
+                conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        self._connections = []
+        self._processes = []
+
+    def __enter__(self) -> "_WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
 
 class NativeCountDistribution:
@@ -51,6 +153,8 @@ class NativeCountDistribution:
         max_k: optional pass cap.
         start_method: multiprocessing start method (``"fork"`` is
             fastest where available; ``None`` uses the platform default).
+        kernel: per-worker counting kernel, ``"fast"`` (default) or
+            ``"reference"``; both yield identical counts.
     """
 
     def __init__(
@@ -61,6 +165,7 @@ class NativeCountDistribution:
         leaf_capacity: int = 16,
         max_k: Optional[int] = None,
         start_method: Optional[str] = None,
+        kernel: str = "fast",
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -72,6 +177,7 @@ class NativeCountDistribution:
         self.leaf_capacity = leaf_capacity
         self.max_k = max_k
         self.start_method = start_method
+        self.kernel = validate_kernel(kernel)
 
     def mine(self, db: TransactionDB) -> AprioriResult:
         """Mine ``db`` with counting fanned out over worker processes."""
@@ -82,37 +188,33 @@ class NativeCountDistribution:
             min_count=min_count,
             num_transactions=len(db),
         )
-        blocks = [
-            list(part.transactions) for part in db.partition(self.num_workers)
-        ]
 
         # Pass 1 is a trivial scan; not worth process overhead.
         frequent_prev = self._pass_one(db, min_count, result)
         if not frequent_prev:
             return result
 
+        blocks = [
+            list(part.transactions) for part in db.partition(self.num_workers)
+        ]
         context = (
             get_context(self.start_method)
             if self.start_method
             else get_context()
         )
         k = 2
-        with context.Pool(self.num_workers) as pool:
+        with _WorkerPool(
+            context, blocks, self.branching, self.leaf_capacity, self.kernel
+        ) as pool:
             while frequent_prev and (self.max_k is None or k <= self.max_k):
                 candidates = generate_candidates(frequent_prev)
                 if not candidates:
                     break
-                tasks = [
-                    (k, candidates, block, self.branching, self.leaf_capacity)
-                    for block in blocks
-                ]
-                tables = pool.map(_count_block, tasks)
-                counts: Dict[Itemset, int] = {c: 0 for c in candidates}
-                for table in tables:
-                    for candidate, count in table.items():
-                        counts[candidate] += count
+                totals = pool.count_pass(k, candidates)
                 frequent_k = {
-                    c: n for c, n in counts.items() if n >= min_count
+                    candidates[i]: totals[i]
+                    for i in range(len(candidates))
+                    if totals[i] >= min_count
                 }
                 result.frequent.update(frequent_k)
                 result.passes.append(

@@ -43,6 +43,7 @@ def make_miner(
     min_support: float,
     num_processors: int,
     machine: MachineSpec = CRAY_T3E,
+    kernel: Optional[str] = None,
     **kwargs,
 ) -> ParallelMiner:
     """Instantiate a parallel miner by algorithm name.
@@ -52,6 +53,11 @@ def make_miner(
         min_support: fractional minimum support.
         num_processors: P.
         machine: cost model.
+        kernel: counting kernel for the formulation's hash trees —
+            ``"reference"`` (instrumented object tree, the formulation
+            default) or ``"fast"`` (flat-array tree in instrumented
+            mode; bit-identical counters and simulated timings).
+            ``None`` keeps the formulation's default.
         **kwargs: forwarded to the formulation's constructor (e.g.
             ``switch_threshold`` for HD, ``max_k``, ``charge_io``).
 
@@ -65,6 +71,8 @@ def make_miner(
         raise KeyError(
             f"unknown algorithm {algorithm!r}; expected one of: {known}"
         ) from None
+    if kernel is not None:
+        kwargs["kernel"] = kernel
     return factory(min_support, num_processors, machine=machine, **kwargs)
 
 

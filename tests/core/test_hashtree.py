@@ -135,6 +135,11 @@ class TestCounting:
         with pytest.raises(KeyError):
             tree.add_counts({(9, 9): 1})
 
+    def test_add_counts_error_names_diverging_candidate(self):
+        tree = build([(1, 2)])
+        with pytest.raises(KeyError, match=r"\(9, 9\)"):
+            tree.add_counts({(9, 9): 1})
+
 
 class TestRootFilter:
     def test_filter_skips_unowned_first_items(self):

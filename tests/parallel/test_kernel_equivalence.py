@@ -1,0 +1,43 @@
+"""Fast vs reference kernel across the parallel formulations.
+
+The simulated formulations price their work off ``HashTreeStats``
+counters, so switching a formulation to ``kernel="fast"`` (the
+instrumented flat tree) must leave *everything* unchanged: frequent
+sets, per-pass subset_stats, and the simulated response time itself.
+"""
+
+import pytest
+
+from repro.parallel.runner import ALGORITHMS, make_miner
+
+NUM_PROCESSORS = 4
+MIN_SUPPORT = 0.05
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_fast_kernel_is_invisible_to_the_simulation(
+    algorithm, medium_quest_db
+):
+    reference = make_miner(
+        algorithm, MIN_SUPPORT, NUM_PROCESSORS, kernel="reference"
+    ).mine(medium_quest_db)
+    fast = make_miner(
+        algorithm, MIN_SUPPORT, NUM_PROCESSORS, kernel="fast"
+    ).mine(medium_quest_db)
+
+    assert fast.frequent == reference.frequent
+    # Bit-identical instrumentation ⇒ bit-identical simulated time.
+    assert fast.total_time == reference.total_time
+    assert fast.breakdown == reference.breakdown
+    for fast_pass, reference_pass in zip(fast.passes, reference.passes):
+        assert fast_pass.subset_stats == reference_pass.subset_stats
+
+
+def test_formulations_default_to_reference_kernel():
+    for algorithm in ALGORITHMS:
+        assert make_miner(algorithm, 0.1, 2).kernel == "reference"
+
+
+def test_make_miner_rejects_bad_kernel():
+    with pytest.raises(ValueError):
+        make_miner("CD", 0.1, 2, kernel="quick")

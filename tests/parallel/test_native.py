@@ -43,3 +43,28 @@ class TestNativeCountDistribution:
         result = NativeCountDistribution(1.0, 2).mine(tiny_db)
         assert result.frequent == {}
         assert len(result.passes) == 1
+
+    def test_kernels_agree_with_serial(self, medium_quest_db):
+        serial = Apriori(0.05, kernel="reference").mine(medium_quest_db)
+        for kernel in ("reference", "fast"):
+            native = NativeCountDistribution(0.05, 3, kernel=kernel).mine(
+                medium_quest_db
+            )
+            assert native.frequent == serial.frequent
+            assert native.min_count == serial.min_count
+
+    def test_fast_kernel_is_default(self):
+        assert NativeCountDistribution(0.1, 2).kernel == "fast"
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            NativeCountDistribution(0.1, 2, kernel="nope")
+
+    def test_spawn_start_method(self, tiny_db):
+        # Workers get their block by one-shot pickle instead of fork
+        # inheritance; results must not change.
+        native = NativeCountDistribution(
+            0.3, 2, start_method="spawn"
+        ).mine(tiny_db)
+        serial = Apriori(0.3).mine(tiny_db)
+        assert native.frequent == serial.frequent
