@@ -62,13 +62,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=sorted(ALGORITHMS),
         default=None,
-        help="parallel formulation (omit for serial Apriori)",
+        help=(
+            "parallel formulation (omit for serial Apriori; 'native' "
+            "runs real worker processes instead of the simulated machine)"
+        ),
     )
     mine.add_argument("--processors", type=int, default=4)
     mine.add_argument(
         "--machine", choices=sorted(_MACHINES), default="t3e"
     )
     mine.add_argument("--max-k", type=int, default=None)
+    mine.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic failures, e.g. "
+            "'kill@0:k2,delay@1:k3:0.5,refuse-spawn:2' — real worker "
+            "failures under --algorithm native, simulated processor "
+            "failures (kill events) under the other formulations"
+        ),
+    )
+    mine.add_argument(
+        "--recv-timeout",
+        type=float,
+        default=30.0,
+        help="native pool: seconds before a silent worker is declared dead",
+    )
+    mine.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="native pool: respawn attempts per failed worker",
+    )
     mine.add_argument(
         "--top", type=int, default=20, help="item-sets/rules to print"
     )
@@ -123,6 +149,35 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
             print(format_report(result))
             return 0
+    elif args.algorithm == "native":
+        from .parallel.native import NativeCountDistribution
+
+        miner = NativeCountDistribution(
+            args.min_support,
+            args.processors,
+            max_k=args.max_k,
+            recv_timeout=args.recv_timeout,
+            max_retries=args.max_retries,
+            faults=args.fault_spec,
+        )
+        result = miner.mine(db)
+        frequent = result.frequent
+        num_transactions = result.num_transactions
+        print(
+            f"native CD on {miner.last_pool_size or args.processors} worker "
+            f"processes: {len(frequent)} frequent item-sets"
+        )
+        for record in miner.fault_log:
+            print(
+                f"  pass {record.k}: worker {record.worker} "
+                f"{record.failure} -> {record.action} "
+                f"({record.attempts} spawn attempt(s))"
+            )
+        if args.report:
+            from .reporting import format_report
+
+            print(format_report(result))
+            return 0
     else:
         result = mine_parallel(
             args.algorithm,
@@ -131,6 +186,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             args.processors,
             machine=_MACHINES[args.machine],
             max_k=args.max_k,
+            faults=args.fault_spec,
         )
         frequent = result.frequent
         num_transactions = result.num_transactions

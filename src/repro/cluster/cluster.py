@@ -36,9 +36,15 @@ class VirtualCluster:
         trace: optional :class:`~repro.cluster.trace.TimelineTrace`; when
             given, every charged interval (including idle waits) is
             recorded for Gantt rendering.
+        faults: optional :class:`~repro.faults.FaultSpec`; its ``kill``
+            events drive the per-processor failure hooks
+            (:meth:`apply_pass_faults`).  ``None`` (the default) keeps
+            the paper's failure-free machine — no run is perturbed.
     """
 
-    def __init__(self, num_processors: int, spec: MachineSpec, trace=None):
+    def __init__(
+        self, num_processors: int, spec: MachineSpec, trace=None, faults=None
+    ):
         if num_processors < 1:
             raise ValueError(
                 f"num_processors must be >= 1, got {num_processors}"
@@ -46,6 +52,7 @@ class VirtualCluster:
         self.num_processors = num_processors
         self.spec = spec
         self.trace = trace
+        self.faults = faults
         self._clock: List[float] = [0.0] * num_processors
         self._by_category: List[Dict[str, float]] = [
             defaultdict(float) for _ in range(num_processors)
@@ -102,6 +109,42 @@ class VirtualCluster:
         for p in pids:
             self._check_pid(p)
         return pids
+
+    # ------------------------------------------------------------------
+    # Per-processor failure hooks
+    # ------------------------------------------------------------------
+
+    def apply_pass_faults(self, k: int, block_bytes: float = 0.0) -> List[int]:
+        """Fail-and-recover processors the fault plan kills at pass ``k``.
+
+        For each processor with a ``kill`` event at this pass, the hook
+        marks the death on the timeline and charges detection
+        (``t_detect``) plus :meth:`~repro.cluster.machine.MachineSpec.
+        recovery_time` of the processor's ``block_bytes`` to its clock
+        as ``recover`` time.  The counting work itself is unaffected —
+        recovery re-runs it on the respawned processor, so mined results
+        stay bit-identical; the cost shows up as response time (and as
+        idle time on the survivors at the next barrier), exactly like
+        the native pool's real recovery.
+
+        Returns the processor ids that failed (empty without a plan).
+        """
+        if self.faults is None:
+            return []
+        failed = [
+            pid
+            for pid in self.faults.failing_at(k)
+            if 0 <= pid < self.num_processors
+        ]
+        for pid in failed:
+            if self.trace is not None:
+                self.trace.mark_fault(pid, self._clock[pid], "kill")
+            self.advance(
+                pid,
+                self.spec.t_detect + self.spec.recovery_time(block_bytes),
+                "recover",
+            )
+        return failed
 
     # ------------------------------------------------------------------
     # Reporting

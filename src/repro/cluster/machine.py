@@ -22,7 +22,14 @@ analysis uses:
 * ``contention_per_processor`` — the network-contention penalty of DD's
   unstructured all-to-all page scattering on sparse networks
   (Section III-B: "this communication pattern will take significantly
-  more than O(N) time because of contention").
+  more than O(N) time because of contention");
+* ``t_detect`` / ``t_respawn`` — the per-processor failure hooks: how
+  long the group takes to notice a dead processor (a poll/heartbeat
+  timeout) and how long restarting one costs before its transaction
+  block is re-shipped.  The paper assumes processors never fail; these
+  coefficients extend the model so the fault-injection layer
+  (:mod:`repro.faults`) can charge recovery time without touching any
+  published figure (they are only consulted when faults are injected).
 
 All coefficients are in seconds (per unit of work).  Absolute values are
 calibrated to be *plausible* for the paper's hardware; the reproduction
@@ -71,6 +78,10 @@ class MachineSpec:
         contention_per_processor: extra serialization per peer for DD's
             naive all-to-all; effective cost is multiplied by
             ``1 + contention_per_processor * (P - 1)``.
+        t_detect: seconds until a dead processor is detected (the
+            heartbeat / recv-poll timeout of the failure hooks).
+        t_respawn: seconds to restart a failed processor before its
+            block is re-shipped; see :meth:`recovery_time`.
     """
 
     name: str
@@ -90,6 +101,20 @@ class MachineSpec:
     memory_candidates: Optional[int] = None
     async_overlap: bool = True
     contention_per_processor: float = 0.25
+    t_detect: float = 0.05
+    t_respawn: float = 0.5
+
+    def recovery_time(self, block_bytes: float = 0.0) -> float:
+        """Seconds to bring a failed processor's block back online.
+
+        Restart cost plus the point-to-point transfer of the block to
+        the respawned (or adopting) processor.  Consulted only by the
+        fault hooks — fault-free runs never pay it.
+        """
+        if block_bytes < 0:
+            raise ValueError(f"block_bytes must be >= 0, got {block_bytes}")
+        transfer = self.message_time(block_bytes) if block_bytes > 0 else 0.0
+        return self.t_respawn + transfer
 
     def with_memory(self, memory_candidates: Optional[int]) -> "MachineSpec":
         """Copy of this machine with a different hash-tree capacity."""

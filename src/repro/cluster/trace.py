@@ -8,6 +8,13 @@ category — which makes the algorithms' structure visible: CD's wide
 tree-build bands, DD's communication stripes, IDD's idle tails on the
 under-loaded processors, HD's per-column phases.
 
+Fault events from the failure hooks (see
+:meth:`~repro.cluster.cluster.VirtualCluster.apply_pass_faults`) are
+point marks rather than intervals: :meth:`TimelineTrace.mark_fault`
+records the instant a processor died, rendered as a ``!`` overlay on the
+Gantt chart; the recovery interval that follows is a normal ``recover``
+segment.
+
 Tracing is opt-in and adds no cost when absent.
 """
 
@@ -16,7 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["TraceSegment", "TimelineTrace", "CATEGORY_GLYPHS"]
+__all__ = [
+    "TraceSegment",
+    "FaultMark",
+    "TimelineTrace",
+    "CATEGORY_GLYPHS",
+    "FAULT_GLYPH",
+]
 
 CATEGORY_GLYPHS: Dict[str, str] = {
     "subset": "s",
@@ -27,8 +40,10 @@ CATEGORY_GLYPHS: Dict[str, str] = {
     "io": "i",
     "idle": ".",
     "rulegen": "u",
+    "recover": "R",
 }
 _UNKNOWN_GLYPH = "?"
+FAULT_GLYPH = "!"
 
 
 @dataclass(frozen=True)
@@ -45,11 +60,21 @@ class TraceSegment:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultMark:
+    """One point-in-time fault event on one processor's timeline."""
+
+    pid: int
+    time: float
+    kind: str
+
+
 class TimelineTrace:
-    """Recorder of per-processor time segments."""
+    """Recorder of per-processor time segments and fault marks."""
 
     def __init__(self) -> None:
         self._segments: List[TraceSegment] = []
+        self._faults: List[FaultMark] = []
 
     def record(self, pid: int, start: float, end: float, category: str) -> None:
         """Append one segment (zero-length segments are dropped)."""
@@ -60,10 +85,21 @@ class TimelineTrace:
         if end > start:
             self._segments.append(TraceSegment(pid, start, end, category))
 
+    def mark_fault(self, pid: int, time: float, kind: str) -> None:
+        """Record a point-in-time fault event (a processor death)."""
+        if time < 0:
+            raise ValueError(f"fault time must be >= 0, got {time}")
+        self._faults.append(FaultMark(pid, time, kind))
+
     @property
     def segments(self) -> List[TraceSegment]:
         """All recorded segments, in recording order."""
         return list(self._segments)
+
+    @property
+    def faults(self) -> List[FaultMark]:
+        """All recorded fault marks, in recording order."""
+        return list(self._faults)
 
     def for_processor(self, pid: int) -> List[TraceSegment]:
         """Segments of one processor, ordered by start time."""
@@ -137,9 +173,12 @@ class TimelineTrace:
                 if candidates:
                     category = max(candidates, key=candidates.get)
                     row[index] = CATEGORY_GLYPHS.get(category, _UNKNOWN_GLYPH)
+            for mark in self._faults:
+                if mark.pid == pid:
+                    row[min(width - 1, int(mark.time / bucket))] = FAULT_GLYPH
             lines.append(f"P{pid:03d} |{''.join(row)}|")
         legend = "  ".join(
             f"{glyph}={category}" for category, glyph in CATEGORY_GLYPHS.items()
         )
-        lines.append(f"legend: {legend}")
+        lines.append(f"legend: {legend}  {FAULT_GLYPH}=fault")
         return "\n".join(lines)

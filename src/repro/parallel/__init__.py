@@ -6,7 +6,7 @@ from .data_distribution import DataDistribution
 from .hpa import HashPartitionedApriori, hpa_owner
 from .hybrid import HybridDistribution, choose_grid
 from .intelligent_dd import IntelligentDataDistribution
-from .native import NativeCountDistribution
+from .native import NativeCountDistribution, WorkerError
 from .rules import ParallelRuleResult, generate_rules_parallel
 from .runner import ALGORITHMS, compare_with_serial, make_miner, mine_parallel
 
@@ -22,6 +22,7 @@ __all__ = [
     "ParallelMiner",
     "ParallelPassStats",
     "ParallelRuleResult",
+    "WorkerError",
     "choose_grid",
     "compare_with_serial",
     "generate_rules_parallel",

@@ -33,6 +33,7 @@ from ..core.hashtree_flat import FlatHashTree
 from ..core.items import Itemset
 from ..core.kernels import validate_kernel
 from ..core.transaction import TransactionDB
+from ..faults import FaultSpec
 
 __all__ = ["ParallelMiner", "MiningResult", "ParallelPassStats"]
 
@@ -53,6 +54,9 @@ class ParallelPassStats:
             pressure, Figures 12 and 15).
         candidate_imbalance: max/mean - 1 of per-processor candidate
             counts (Section III-C load-balance discussion).
+        failed_processors: processors the fault plan killed during this
+            pass (empty on failure-free runs); their recovery time is
+            charged as the ``recover`` category.
         subset_stats: hash-tree work counters summed over all virtual
             processors; ``avg_leaf_visits`` reproduces Figure 11's
             y-axis.
@@ -70,6 +74,7 @@ class ParallelPassStats:
     candidate_imbalance: float = 0.0
     subset_stats: HashTreeStats = field(default_factory=HashTreeStats)
     elapsed_at_end: float = 0.0
+    failed_processors: List[int] = field(default_factory=list)
 
     @property
     def avg_leaf_visits(self) -> float:
@@ -186,6 +191,13 @@ class ParallelMiner(ABC):
             real mining (:class:`~repro.core.apriori.Apriori`,
             :class:`~repro.parallel.native.NativeCountDistribution`)
             because the cost model prices the counters.
+        faults: optional :class:`~repro.faults.FaultSpec` (or spec
+            string) of injected processor failures, consumed by the
+            cluster's per-processor failure hooks: a killed processor is
+            respawned and recounts its block, charging detection plus
+            recovery time (``recover`` category) without perturbing the
+            mined result.  ``None`` (the default) is the paper's
+            failure-free machine.
     """
 
     name: str = "parallel"
@@ -205,6 +217,7 @@ class ParallelMiner(ABC):
         trace=None,
         parallel_candgen: bool = False,
         kernel: str = "reference",
+        faults=None,
     ):
         if num_processors < 1:
             raise ValueError(
@@ -222,6 +235,7 @@ class ParallelMiner(ABC):
         self.trace = trace
         self.parallel_candgen = parallel_candgen
         self.kernel = validate_kernel(kernel)
+        self.faults = FaultSpec.of(faults)
 
     # ------------------------------------------------------------------
     # Outer loop
@@ -230,7 +244,10 @@ class ParallelMiner(ABC):
     def mine(self, db: TransactionDB) -> MiningResult:
         """Run the full parallel mining computation on ``db``."""
         cluster = VirtualCluster(
-            self.num_processors, self.machine, trace=self.trace
+            self.num_processors,
+            self.machine,
+            trace=self.trace,
+            faults=self.faults,
         )
         local_parts = db.partition(self.num_processors)
         min_count = min_support_count(self.min_support, max(1, len(db)))
@@ -255,6 +272,9 @@ class ParallelMiner(ABC):
                 cluster, k, candidates, local_parts, min_count
             )
             frequent.update(frequent_k)
+            pass_stats.failed_processors = cluster.apply_pass_faults(
+                k, self._mean_block_bytes(local_parts)
+            )
             pass_stats.elapsed_at_end = cluster.synchronize()
             passes.append(pass_stats)
             frequent_prev = sorted(frequent_k)

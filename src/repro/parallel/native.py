@@ -7,77 +7,197 @@ formulation using ``multiprocessing`` — CD is the one formulation whose
 processes share nothing but a count reduction, so it maps cleanly onto
 OS processes despite Python's GIL.
 
-The workers form a **persistent pool**: one process per transaction
-block, created once per :meth:`NativeCountDistribution.mine` call.
-Each worker receives its block exactly once — by fork inheritance where
-the start method supports it, by a one-shot pickle at process start
-otherwise — and then serves *every* pass over a pipe, receiving only
-``(k, candidates)`` and returning a bare count vector aligned with the
-candidate order.  This removes the per-pass costs the naive
-``Pool.map`` version paid: re-pickling the transaction partition every
-pass and shipping candidate tuples back with every count.
+The workers form a **persistent pool**: one process per non-empty
+transaction block, created once per
+:meth:`NativeCountDistribution.mine` call.  Each worker receives its
+block exactly once — by fork inheritance where the start method supports
+it, by a one-shot pickle at process start otherwise — and then serves
+*every* pass over a pipe, receiving only ``(k, candidates)`` and
+returning a count vector aligned with the candidate order.
 
-Counting inside a worker goes through the fast kernel by default (flat
-hash tree, triangular pass-2 counter); the result is bit-identical to
-:class:`repro.core.apriori.Apriori` with either kernel.
+The pool is **fault tolerant**.  Receives are poll-based with a per-pass
+deadline (no call ever blocks indefinitely); a worker that times out,
+dies, or replies with a malformed vector is declared failed, and its
+transaction block is recovered down a fixed degradation ladder:
+
+1. **respawn** — a fresh replacement process takes over the block, with
+   bounded retries under exponential backoff;
+2. **adopt** — if respawning fails (e.g. the OS refuses to fork), a
+   surviving worker permanently adopts the block;
+3. **in-process** — with no survivors the parent counts the block itself;
+   when the whole pool collapses, mining continues fully in-process.
+
+Every rung recounts the failed block from scratch, so the mined result
+is bit-identical to serial :class:`~repro.core.apriori.Apriori` no
+matter which failures occur.  Worker-side exceptions do *not* kill the
+worker silently: they come back as a structured error frame and raise
+:class:`WorkerError` in the parent — a deterministic application error
+is surfaced, while process deaths (crash, OOM-kill, injected kill) are
+recovered.
+
+Failure handling is driven by — and tested through — the deterministic
+fault-injection layer in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from multiprocessing import get_context
-from typing import List, Optional, Sequence
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.candidates import generate_candidates
 from ..core.items import Itemset
 from ..core.kernels import make_counter, validate_kernel
 from ..core.transaction import TransactionDB
+from ..faults import FaultEvent, FaultRecord, FaultSpec
 
-__all__ = ["NativeCountDistribution"]
+__all__ = ["NativeCountDistribution", "WorkerError"]
+
+# Exit status of an injected kill; distinguishable from a Python crash
+# in `ps` output while debugging, invisible to the recovery logic (any
+# pipe EOF is "died").
+_KILLED_EXIT = 17
+
+
+class WorkerError(RuntimeError):
+    """A worker reported a structured error frame (application failure).
+
+    Raised by the parent instead of attempting recovery: unlike a
+    process death, an in-worker exception is deterministic — respawning
+    and recounting the same block with the same candidates would fail
+    the same way.
+    """
+
+
+def _count_block_vector(
+    blocks: Sequence[Sequence[Itemset]],
+    k: int,
+    candidates: Sequence[Itemset],
+    kernel: str,
+    branching: int,
+    leaf_capacity: int,
+) -> List[int]:
+    """Count one pass over a list of blocks; vector in candidate order.
+
+    Shared by the worker loop and the parent's in-process degradation
+    path, so both produce identical counts by construction.
+    """
+    counter = make_counter(
+        k,
+        candidates,
+        kernel=kernel,
+        branching=branching,
+        leaf_capacity=leaf_capacity,
+    )
+    for block in blocks:
+        counter.count_database(block)
+    counts = counter.counts()
+    return [counts[c] for c in candidates]
 
 
 def _worker_main(
     conn,
-    transactions: Sequence[Itemset],
+    blocks: List[Sequence[Itemset]],
     branching: int,
     leaf_capacity: int,
     kernel: str,
+    fault_events: Sequence[FaultEvent] = (),
 ) -> None:
-    """Worker loop: hold one transaction block, count pass after pass.
+    """Worker loop: hold transaction blocks, count pass after pass.
 
-    Receives ``(k, candidates)`` messages and replies with the block's
-    count vector in candidate order; a ``None`` message shuts the
-    worker down.  The block itself arrived once, at process start.
+    Request frames (parent → worker):
+
+    * ``("pass", k, candidates)`` — count all held blocks;
+    * ``("adopt", new_blocks, k, candidates)`` — permanently add a dead
+      peer's blocks to the holdings and count *only those* for the
+      current pass (the worker already returned its own counts);
+    * ``None`` — shut down.
+
+    Reply frames (worker → parent): ``("ok", vector)`` on success or
+    ``("error", message)`` when counting raised — the parent surfaces
+    the message instead of seeing a silent death.
+
+    ``fault_events`` are this worker's injected failures from a
+    :class:`~repro.faults.FaultSpec`; each fires once.
     """
+    pending = list(fault_events)
+
+    def take(kind: str, k: int) -> Optional[FaultEvent]:
+        for index, event in enumerate(pending):
+            if event.kind == kind and event.k == k:
+                return pending.pop(index)
+        return None
+
     try:
         while True:
             message = conn.recv()
             if message is None:
                 break
-            k, candidates = message
-            counter = make_counter(
-                k,
-                candidates,
-                kernel=kernel,
-                branching=branching,
-                leaf_capacity=leaf_capacity,
-            )
-            counter.count_database(transactions)
-            counts = counter.counts()
-            conn.send([counts[c] for c in candidates])
+            if message[0] == "adopt":
+                _, new_blocks, k, candidates = message
+                blocks.extend(new_blocks)
+                count_blocks: Sequence = new_blocks
+            else:
+                _, k, candidates = message
+                count_blocks = blocks
+            kill = take("kill", k)
+            if kill is not None and kill.when == "before":
+                os._exit(_KILLED_EXIT)
+            delay = take("delay", k)
+            corrupt = take("corrupt", k)
+            try:
+                if take("error", k) is not None:
+                    raise RuntimeError(f"injected worker error at pass {k}")
+                vector = _count_block_vector(
+                    count_blocks, k, candidates, kernel, branching, leaf_capacity
+                )
+            except Exception as exc:  # surfaced, never swallowed
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                continue
+            if kill is not None:  # when == "mid": die after the work
+                os._exit(_KILLED_EXIT)
+            if delay is not None:
+                time.sleep(delay.delay)
+            if corrupt is not None:
+                vector = vector[:-1]
+            conn.send(("ok", vector))
     except EOFError:
         pass
     finally:
         conn.close()
 
 
-class _WorkerPool:
-    """Persistent per-``mine()`` pool of counting processes.
+class _Slot:
+    """One pool slot: a worker process, its pipe, and the blocks it holds."""
 
-    One process per transaction block.  Under the ``fork`` start method
-    the block is inherited through the process image; under ``spawn`` /
-    ``forkserver`` it is pickled exactly once into the child's argument
-    tuple.  Either way, passes after the first ship only candidates.
+    def __init__(self, process, conn, blocks, events):
+        self.process = process
+        self.conn = conn
+        self.blocks: List[Sequence[Itemset]] = blocks
+        self.events: List[FaultEvent] = events
+
+
+class _WorkerPool:
+    """Persistent, fault-tolerant per-``mine()`` pool of counting processes.
+
+    One process per non-empty transaction block.  Under the ``fork``
+    start method the block is inherited through the process image; under
+    ``spawn`` / ``forkserver`` it is pickled exactly once into the
+    child's argument tuple.  Either way, passes after the first ship
+    only candidates.
+
+    Args:
+        recv_timeout: per-pass reply deadline in seconds; receives are
+            poll-based so no call blocks past it.
+        max_retries: respawn attempts per failed worker (beyond these
+            the block is adopted by a survivor or counted in-process).
+        backoff_base: first-retry backoff; doubles per attempt.
+        faults: optional :class:`~repro.faults.FaultSpec` — worker
+            events ship to the workers, ``refuse-spawn`` budgets gate
+            the pool's own respawn attempts.
     """
 
     def __init__(
@@ -87,54 +207,271 @@ class _WorkerPool:
         branching: int,
         leaf_capacity: int,
         kernel: str,
+        recv_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        faults: Optional[FaultSpec] = None,
     ):
-        self._processes: List = []
-        self._connections: List = []
+        self._context = context
+        self._branching = branching
+        self._leaf_capacity = leaf_capacity
+        self._kernel = kernel
+        self.recv_timeout = recv_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self._faults = faults or FaultSpec()
+        # refuse-spawn gates *respawns* (recovery), not the initial pool.
+        self._refusals_left = self._faults.refusals()
+        self._slots: Dict[int, _Slot] = {}
+        self._fallback_blocks: List[Sequence[Itemset]] = []
+        self.fault_log: List[FaultRecord] = []
         try:
-            for block in blocks:
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, block, branching, leaf_capacity, kernel),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._processes.append(process)
-                self._connections.append(parent_conn)
+            for wid, block in enumerate(blocks):
+                events = self._faults.worker_events(wid)
+                # Each slot holds a *list* of blocks: adoption appends a
+                # dead peer's blocks to a survivor's holdings.
+                slot = self._spawn([list(block)], events, gated=False)
+                if slot is None:  # pragma: no cover - spawn failed at startup
+                    raise OSError(f"could not start worker {wid}")
+                self._slots[wid] = slot
         except Exception:
             self.shutdown()
             raise
 
-    def count_pass(
-        self, k: int, candidates: Sequence[Itemset]
-    ) -> List[int]:
-        """Fan one pass out to every worker; return the summed count vector."""
-        for conn in self._connections:
-            conn.send((k, candidates))
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        """Live worker processes (excludes in-process fallback blocks)."""
+        return len(self._slots)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any block is being counted in-process."""
+        return bool(self._fallback_blocks)
+
+    # ------------------------------------------------------------------
+    # The pass fan-out
+    # ------------------------------------------------------------------
+
+    def count_pass(self, k: int, candidates: Sequence[Itemset]) -> List[int]:
+        """Fan one pass out to every worker; return the summed count vector.
+
+        Detects failed workers within ``recv_timeout`` (poll-based) and
+        recovers their blocks before returning, so the totals always
+        cover every transaction exactly once.
+        """
         totals = [0] * len(candidates)
-        for conn in self._connections:
-            vector = conn.recv()
+        # Snapshot: blocks that fall back *during* this pass are counted
+        # by their recovery rung, not double-counted here.
+        fallback_snapshot = list(self._fallback_blocks)
+        failures: List[Tuple[int, str]] = []
+        pending: Dict[object, int] = {}
+        for wid, slot in list(self._slots.items()):
+            try:
+                slot.conn.send(("pass", k, candidates))
+                pending[slot.conn] = wid
+            except (BrokenPipeError, OSError, ValueError):
+                failures.append((wid, "died"))
+        deadline = time.monotonic() + self.recv_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            for conn in _connection_wait(list(pending), timeout=remaining):
+                wid = pending.pop(conn)
+                vector, failure = self._read_reply(conn, wid, k, len(candidates))
+                if vector is None:
+                    failures.append((wid, failure))
+                else:
+                    for index, count in enumerate(vector):
+                        totals[index] += count
+        for wid in pending.values():
+            failures.append((wid, "timeout"))
+        for wid, failure in failures:
+            vector = self._recover(wid, k, candidates, failure)
+            for index, count in enumerate(vector):
+                totals[index] += count
+        if fallback_snapshot:
+            vector = self._count_inprocess(fallback_snapshot, k, candidates)
             for index, count in enumerate(vector):
                 totals[index] += count
         return totals
 
+    def _read_reply(
+        self, conn, wid: int, k: int, expected: int
+    ) -> Tuple[Optional[List[int]], str]:
+        """Read one reply frame; return (vector, "") or (None, failure)."""
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            return None, "died"
+        if not (isinstance(frame, tuple) and len(frame) == 2):
+            return None, "corrupt"
+        tag, payload = frame
+        if tag == "error":
+            raise WorkerError(
+                f"worker {wid} failed at pass {k}: {payload}"
+            )
+        if tag != "ok" or not isinstance(payload, list) or len(payload) != expected:
+            return None, "corrupt"
+        return payload, ""
+
+    # ------------------------------------------------------------------
+    # Recovery ladder
+    # ------------------------------------------------------------------
+
+    def _recover(
+        self, wid: int, k: int, candidates: Sequence[Itemset], failure: str
+    ) -> List[int]:
+        """Recount a failed worker's blocks; reassign them for future passes.
+
+        Ladder: respawn (with retries + exponential backoff) → adoption
+        by a surviving worker → in-process counting.  Whatever rung
+        succeeds, the returned vector covers exactly the failed slot's
+        blocks for pass ``k``.
+        """
+        slot = self._slots.pop(wid)
+        blocks = slot.blocks
+        # A replacement must not replay the failure that killed its
+        # predecessor; it inherits only events for *future* passes.
+        future_events = [e for e in slot.events if e.k > k]
+        self._discard(slot)
+
+        attempts = 0
+        expected = len(candidates)
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                time.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            attempts += 1
+            replacement = self._spawn(blocks, future_events, gated=True)
+            if replacement is None:
+                continue
+            vector = self._ask(
+                replacement, ("pass", k, candidates), wid, k, expected
+            )
+            if vector is not None:
+                self._slots[wid] = replacement
+                self.fault_log.append(
+                    FaultRecord(k, wid, failure, "respawned", attempts)
+                )
+                return vector
+            self._discard(replacement)
+
+        for survivor_id in list(self._slots):
+            survivor = self._slots[survivor_id]
+            vector = self._ask(
+                survivor, ("adopt", blocks, k, candidates), survivor_id, k, expected
+            )
+            if vector is not None:
+                survivor.blocks.extend(blocks)
+                self.fault_log.append(
+                    FaultRecord(k, wid, failure, "adopted", attempts)
+                )
+                return vector
+            # The survivor died while adopting.  Its own counts for this
+            # pass were already collected, so its blocks only need to
+            # move in-process for *future* passes.
+            del self._slots[survivor_id]
+            self._discard(survivor)
+            self._fallback_blocks.extend(survivor.blocks)
+            self.fault_log.append(
+                FaultRecord(k, survivor_id, "died", "inprocess", 0)
+            )
+
+        self._fallback_blocks.extend(blocks)
+        self.fault_log.append(
+            FaultRecord(k, wid, failure, "inprocess", attempts)
+        )
+        return self._count_inprocess(blocks, k, candidates)
+
+    def _ask(
+        self, slot: _Slot, request, wid: int, k: int, expected: int
+    ) -> Optional[List[int]]:
+        """Send one request to one slot; poll-bounded reply or ``None``."""
+        try:
+            slot.conn.send(request)
+        except (BrokenPipeError, OSError, ValueError):
+            return None
+        if not slot.conn.poll(self.recv_timeout):
+            return None
+        vector, _ = self._read_reply(slot.conn, wid, k, expected)
+        return vector
+
+    def _spawn(
+        self,
+        blocks: List[Sequence[Itemset]],
+        events: List[FaultEvent],
+        gated: bool,
+    ) -> Optional[_Slot]:
+        """Start one worker process; ``None`` if spawning is refused/fails."""
+        if gated and self._refusals_left > 0:
+            self._refusals_left -= 1
+            return None
+        try:
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    blocks,
+                    self._branching,
+                    self._leaf_capacity,
+                    self._kernel,
+                    events,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+        except OSError:
+            return None
+        return _Slot(process, parent_conn, blocks, events)
+
+    def _count_inprocess(
+        self, blocks: Sequence, k: int, candidates: Sequence[Itemset]
+    ) -> List[int]:
+        return _count_block_vector(
+            blocks, k, candidates, self._kernel, self._branching,
+            self._leaf_capacity,
+        )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def _discard(self, slot: _Slot) -> None:
+        """Close a slot's pipe and reap its process (terminate if needed).
+
+        A declared-failed worker may merely be slow; terminating it
+        prevents a late reply from desynchronizing a later pass.
+        """
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=10)
+
     def shutdown(self) -> None:
         """Send shutdown sentinels and reap the worker processes."""
-        for conn in self._connections:
+        for slot in self._slots.values():
             try:
-                conn.send(None)
+                slot.conn.send(None)
             except (OSError, ValueError, BrokenPipeError):
                 pass
             finally:
-                conn.close()
-        for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():
-                process.terminate()
-                process.join()
-        self._connections = []
-        self._processes = []
+                slot.conn.close()
+        for slot in self._slots.values():
+            slot.process.join(timeout=10)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join()
+        self._slots = {}
+        self._fallback_blocks = []
 
     def __enter__(self) -> "_WorkerPool":
         return self
@@ -148,13 +485,28 @@ class NativeCountDistribution:
 
     Args:
         min_support: fractional minimum support in (0, 1].
-        num_workers: OS processes to fan counting out to.
+        num_workers: OS processes to fan counting out to (clamped to the
+            number of non-empty transaction blocks — idle workers are
+            never spawned).
         branching / leaf_capacity: hash tree geometry.
         max_k: optional pass cap.
         start_method: multiprocessing start method (``"fork"`` is
             fastest where available; ``None`` uses the platform default).
         kernel: per-worker counting kernel, ``"fast"`` (default) or
             ``"reference"``; both yield identical counts.
+        recv_timeout: seconds a pass waits for worker replies before
+            declaring stragglers failed; receives are poll-based, so no
+            call blocks indefinitely.
+        max_retries: respawn attempts per failed worker before its block
+            is adopted by a survivor or counted in-process.
+        backoff_base: first respawn-retry backoff in seconds (doubles
+            each attempt).
+        faults: optional :class:`~repro.faults.FaultSpec` (or spec
+            string) of injected failures, for chaos testing.
+
+    After :meth:`mine`, :attr:`fault_log` holds the
+    :class:`~repro.faults.FaultRecord` recovery log of the run and
+    :attr:`last_pool_size` the number of worker processes spawned.
     """
 
     def __init__(
@@ -166,11 +518,21 @@ class NativeCountDistribution:
         max_k: Optional[int] = None,
         start_method: Optional[str] = None,
         kernel: str = "fast",
+        recv_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        faults: Optional[FaultSpec] = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if max_k is not None and max_k < 1:
             raise ValueError(f"max_k must be >= 1, got {max_k}")
+        if recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be > 0, got {recv_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {backoff_base}")
         self.min_support = min_support
         self.num_workers = num_workers
         self.branching = branching
@@ -178,6 +540,17 @@ class NativeCountDistribution:
         self.max_k = max_k
         self.start_method = start_method
         self.kernel = validate_kernel(kernel)
+        self.recv_timeout = recv_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.faults = FaultSpec.of(faults)
+        self.fault_log: List[FaultRecord] = []
+        self.last_pool_size = 0
+
+    @property
+    def num_processors(self) -> int:
+        """Alias for ``num_workers`` (runner-facade compatibility)."""
+        return self.num_workers
 
     def mine(self, db: TransactionDB) -> AprioriResult:
         """Mine ``db`` with counting fanned out over worker processes."""
@@ -188,14 +561,21 @@ class NativeCountDistribution:
             min_count=min_count,
             num_transactions=len(db),
         )
+        self.fault_log = []
+        self.last_pool_size = 0
 
         # Pass 1 is a trivial scan; not worth process overhead.
         frequent_prev = self._pass_one(db, min_count, result)
         if not frequent_prev:
             return result
 
+        # Clamp to non-empty blocks: partition() pads with empty parts
+        # when num_workers exceeds the transaction count, and an empty
+        # block would pin an idle process for the whole run.
         blocks = [
-            list(part.transactions) for part in db.partition(self.num_workers)
+            list(part.transactions)
+            for part in db.partition(self.num_workers)
+            if len(part) > 0
         ]
         context = (
             get_context(self.start_method)
@@ -204,8 +584,17 @@ class NativeCountDistribution:
         )
         k = 2
         with _WorkerPool(
-            context, blocks, self.branching, self.leaf_capacity, self.kernel
+            context,
+            blocks,
+            self.branching,
+            self.leaf_capacity,
+            self.kernel,
+            recv_timeout=self.recv_timeout,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            faults=self.faults,
         ) as pool:
+            self.last_pool_size = pool.num_workers
             while frequent_prev and (self.max_k is None or k <= self.max_k):
                 candidates = generate_candidates(frequent_prev)
                 if not candidates:
@@ -226,6 +615,7 @@ class NativeCountDistribution:
                 )
                 frequent_prev = sorted(frequent_k)
                 k += 1
+            self.fault_log = list(pool.fault_log)
         return result
 
     def _pass_one(

@@ -20,12 +20,25 @@ from .data_distribution import DataDistribution
 from .hpa import HashPartitionedApriori
 from .hybrid import HybridDistribution
 from .intelligent_dd import IntelligentDataDistribution
+from .native import NativeCountDistribution
 
 __all__ = ["ALGORITHMS", "make_miner", "mine_parallel", "compare_with_serial"]
 
 
 def _make_dd_comm(*args, **kwargs) -> DataDistribution:
     return DataDistribution(*args, comm_scheme="ring", **kwargs)
+
+
+def _make_native(
+    min_support: float, num_processors: int, machine=None, **kwargs
+) -> NativeCountDistribution:
+    """Adapter for the real-multiprocessing backend.
+
+    It runs on actual OS processes, so the simulated ``machine`` cost
+    model does not apply and is accepted only for signature
+    compatibility with the other formulations.
+    """
+    return NativeCountDistribution(min_support, num_processors, **kwargs)
 
 
 ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
@@ -35,6 +48,7 @@ ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
     "IDD": IntelligentDataDistribution,
     "HD": HybridDistribution,
     "HPA": HashPartitionedApriori,
+    "native": _make_native,
 }
 
 
@@ -49,7 +63,10 @@ def make_miner(
     """Instantiate a parallel miner by algorithm name.
 
     Args:
-        algorithm: one of ``CD``, ``DD``, ``DD+comm``, ``IDD``, ``HD``.
+        algorithm: one of ``CD``, ``DD``, ``DD+comm``, ``IDD``, ``HD``,
+            ``HPA`` (simulated) or ``native`` (real multiprocessing;
+            ``machine`` is ignored and the result carries no simulated
+            timings).
         min_support: fractional minimum support.
         num_processors: P.
         machine: cost model.
@@ -112,8 +129,9 @@ def compare_with_serial(
     if parallel_result.frequent != serial_result.frequent:
         missing = set(serial_result.frequent) - set(parallel_result.frequent)
         extra = set(parallel_result.frequent) - set(serial_result.frequent)
+        algorithm = getattr(parallel_result, "algorithm", "parallel run")
         raise AssertionError(
-            f"{parallel_result.algorithm} diverged from serial Apriori: "
+            f"{algorithm} diverged from serial Apriori: "
             f"{len(missing)} missing, {len(extra)} extra item-sets"
         )
     return serial_result

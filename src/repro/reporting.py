@@ -25,6 +25,7 @@ _CATEGORY_ORDER = (
     "reduce",
     "io",
     "idle",
+    "recover",
 )
 
 

@@ -1,0 +1,109 @@
+"""Tests for the simulated cluster's per-processor failure hooks."""
+
+import pytest
+
+from repro.cluster.cluster import VirtualCluster
+from repro.cluster.machine import CRAY_T3E
+from repro.cluster.trace import FAULT_GLYPH, TimelineTrace
+from repro.faults import FaultSpec
+from repro.parallel.runner import mine_parallel
+
+
+class TestRecoveryTime:
+    def test_respawn_only(self):
+        spec = CRAY_T3E
+        assert spec.recovery_time() == pytest.approx(spec.t_respawn)
+
+    def test_with_block_transfer(self):
+        spec = CRAY_T3E
+        expected = spec.t_respawn + spec.message_time(1000.0)
+        assert spec.recovery_time(1000.0) == pytest.approx(expected)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            CRAY_T3E.recovery_time(-1.0)
+
+    def test_defaults_are_positive(self):
+        assert CRAY_T3E.t_detect > 0
+        assert CRAY_T3E.t_respawn > 0
+
+
+class TestApplyPassFaults:
+    def test_no_plan_is_a_noop(self):
+        cluster = VirtualCluster(4, CRAY_T3E)
+        assert cluster.apply_pass_faults(2) == []
+        assert cluster.elapsed() == 0.0
+
+    def test_charges_recover_time_to_failed_processor(self):
+        faults = FaultSpec.parse("kill@1:k2")
+        cluster = VirtualCluster(4, CRAY_T3E, faults=faults)
+        failed = cluster.apply_pass_faults(2, block_bytes=500.0)
+        assert failed == [1]
+        expected = CRAY_T3E.t_detect + CRAY_T3E.recovery_time(500.0)
+        assert cluster.breakdown(1)["recover"] == pytest.approx(expected)
+        assert "recover" not in cluster.breakdown(0)
+
+    def test_other_passes_unaffected(self):
+        faults = FaultSpec.parse("kill@1:k3")
+        cluster = VirtualCluster(2, CRAY_T3E, faults=faults)
+        assert cluster.apply_pass_faults(2) == []
+        assert cluster.apply_pass_faults(3) == [1]
+
+    def test_out_of_range_processor_ignored(self):
+        faults = FaultSpec.parse("kill@9:k2")
+        cluster = VirtualCluster(2, CRAY_T3E, faults=faults)
+        assert cluster.apply_pass_faults(2) == []
+
+    def test_fault_marked_on_trace(self):
+        trace = TimelineTrace()
+        faults = FaultSpec.parse("kill@0:k2")
+        cluster = VirtualCluster(2, CRAY_T3E, trace=trace, faults=faults)
+        cluster.advance(0, 1.0, "subset")
+        cluster.apply_pass_faults(2)
+        marks = trace.faults
+        assert len(marks) == 1
+        assert (marks[0].pid, marks[0].kind) == (0, "kill")
+        assert marks[0].time == pytest.approx(1.0)
+
+    def test_fault_glyph_rendered_in_gantt(self):
+        trace = TimelineTrace()
+        faults = FaultSpec.parse("kill@0:k2")
+        cluster = VirtualCluster(1, CRAY_T3E, trace=trace, faults=faults)
+        cluster.advance(0, 1.0, "subset")
+        cluster.apply_pass_faults(2)
+        chart = trace.render_gantt(1, width=16)
+        assert FAULT_GLYPH in chart
+        assert f"{FAULT_GLYPH}=fault" in chart
+
+
+class TestSimulatedMiningUnderFaults:
+    def test_cd_results_identical_under_faults(self, tiny_db):
+        baseline = mine_parallel("CD", tiny_db, 0.3, 2)
+        faulted = mine_parallel("CD", tiny_db, 0.3, 2, faults="kill@0:k2")
+        assert faulted.frequent == baseline.frequent
+        assert faulted.total_time > baseline.total_time
+        assert faulted.breakdown.get("recover", 0.0) > 0.0
+
+    def test_failed_processors_recorded_per_pass(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2, faults="kill@1:k2")
+        by_pass = {p.k: p.failed_processors for p in result.passes}
+        assert by_pass[2] == [1]
+        assert by_pass[1] == []
+
+    def test_survivors_pay_idle_not_recover(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 4, faults="kill@0:k2")
+        assert result.per_processor[0].get("recover", 0.0) > 0.0
+        for pid in (1, 2, 3):
+            assert result.per_processor[pid].get("recover", 0.0) == 0.0
+
+    @pytest.mark.parametrize("algorithm", ["CD", "DD", "IDD", "HD"])
+    def test_all_formulations_survive_faults(self, tiny_db, algorithm):
+        baseline = mine_parallel(algorithm, tiny_db, 0.3, 2)
+        faulted = mine_parallel(
+            algorithm, tiny_db, 0.3, 2, faults="kill@0:k2,kill@1:k3"
+        )
+        assert faulted.frequent == baseline.frequent
+
+    def test_no_faults_means_no_recover_category(self, tiny_db):
+        result = mine_parallel("CD", tiny_db, 0.3, 2)
+        assert "recover" not in result.breakdown

@@ -13,6 +13,18 @@ from repro.data.corpus import supermarket, t5_i2
 from repro.data.quest import generate
 
 
+def pytest_configure(config):
+    # The chaos suite marks tests with @pytest.mark.timeout(...), which
+    # pytest-timeout enforces in CI.  Register the marker so the suite
+    # also runs warning-free where the plugin is not installed (the
+    # marks are simply inert there).
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test after this many seconds "
+        "(enforced by pytest-timeout when installed)",
+    )
+
+
 def brute_force_frequent(
     db: TransactionDB, min_count: int, max_size: int | None = None
 ) -> Dict[Itemset, int]:

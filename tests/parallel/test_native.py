@@ -68,3 +68,30 @@ class TestNativeCountDistribution:
         ).mine(tiny_db)
         serial = Apriori(0.3).mine(tiny_db)
         assert native.frequent == serial.frequent
+
+
+class TestPoolClamping:
+    """Regression: the pool must never spawn workers for empty blocks."""
+
+    @pytest.mark.parametrize("num_workers", [1, 6, 11])
+    def test_pool_clamped_to_nonempty_blocks(self, tiny_db, num_workers):
+        # tiny_db has 6 transactions; 11 workers would previously spawn
+        # 5 idle processes holding empty blocks.
+        serial = Apriori(0.3).mine(tiny_db)
+        miner = NativeCountDistribution(0.3, num_workers)
+        result = miner.mine(tiny_db)
+        assert result.frequent == serial.frequent
+        assert miner.last_pool_size == min(num_workers, len(tiny_db))
+
+    def test_single_transaction_many_workers(self):
+        from repro.core.transaction import TransactionDB
+
+        db = TransactionDB([(1, 2, 3)] * 3)
+        serial = Apriori(0.5).mine(db)
+        miner = NativeCountDistribution(0.5, 8)
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.last_pool_size == 3
+
+    def test_num_processors_alias(self):
+        assert NativeCountDistribution(0.1, 4).num_processors == 4

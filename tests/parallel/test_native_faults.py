@@ -1,0 +1,332 @@
+"""Chaos suite: the native pool under injected failures.
+
+Every test drives :class:`NativeCountDistribution` through the
+deterministic fault-injection layer (:mod:`repro.faults`) and asserts
+the paper's baseline invariant survives the failure: the mined result is
+bit-identical to serial :class:`Apriori`.  The ``timeout`` marks are
+enforced by pytest-timeout in CI, turning any recovery-path hang into a
+fast failure instead of a stalled runner.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.faults import FaultSpec
+from repro.parallel.native import NativeCountDistribution, WorkerError
+
+# tiny_db at 0.3 support runs passes k = 1, 2, 3 (see conftest); the
+# chaos scenarios below kill workers at every pool pass in turn.
+TINY_SUPPORT = 0.3
+TINY_POOL_PASSES = (2, 3)
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _has_start_method(name: str) -> bool:
+    return name in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def tiny_serial():
+    from repro.core.transaction import TransactionDB
+
+    db = TransactionDB(
+        [
+            (1, 2, 3),
+            (1, 2),
+            (2, 3, 4),
+            (1, 3, 4),
+            (2, 4),
+            (1, 2, 3, 4),
+        ]
+    )
+    return db, Apriori(TINY_SUPPORT).mine(db)
+
+
+class TestKilledWorkers:
+    @pytest.mark.parametrize("k", TINY_POOL_PASSES)
+    @pytest.mark.parametrize("when", ["before", "mid"])
+    def test_kill_at_every_pass_every_worker(self, tiny_serial, k, when):
+        """Acceptance: a worker killed at every pass k >= 2 in turn."""
+        db, serial = tiny_serial
+        for worker in range(3):
+            spec = FaultSpec.parse(f"kill@{worker}:k{k}:{when}")
+            miner = NativeCountDistribution(
+                TINY_SUPPORT, 3, faults=spec, backoff_base=0.01
+            )
+            result = miner.mine(db)
+            assert result.frequent == serial.frequent, (
+                f"kill@{worker}:k{k}:{when} diverged from serial"
+            )
+            assert [r.worker for r in miner.fault_log] == [worker]
+            assert miner.fault_log[0].failure == "died"
+            assert miner.fault_log[0].action == "respawned"
+
+    def test_kills_across_multiple_passes(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="kill@0:k2,kill@1:k3:mid",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert [(r.k, r.worker) for r in miner.fault_log] == [(2, 0), (3, 1)]
+
+    def test_same_worker_killed_every_pass(self, tiny_serial):
+        # The respawned replacement inherits the slot's *future* events,
+        # so a second kill on the same slot still fires.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT, 2, faults="kill@0:k2,kill@0:k3", backoff_base=0.01
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert [(r.k, r.worker) for r in miner.fault_log] == [(2, 0), (3, 0)]
+
+    def test_all_workers_killed_same_pass(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="kill@0:k2,kill@1:k2,kill@2:k2",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert len(miner.fault_log) == 3
+
+    def test_larger_db_kill(self, small_quest_db):
+        serial = Apriori(0.02).mine(small_quest_db)
+        miner = NativeCountDistribution(
+            0.02, 4, faults="kill@2:k2", backoff_base=0.01
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == serial.frequent
+
+
+class TestSlowReplies:
+    @pytest.mark.timeout(60)
+    def test_delay_past_timeout_recovers(self, tiny_serial):
+        """A reply slower than recv_timeout is a failure, not a hang."""
+        import time
+
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="delay@1:k2:30",
+            recv_timeout=0.2,
+            backoff_base=0.01,
+        )
+        start = time.monotonic()
+        result = miner.mine(db)
+        elapsed = time.monotonic() - start
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].failure == "timeout"
+        assert miner.fault_log[0].action == "respawned"
+        # The injected delay is 30s; detection + recovery must not wait
+        # it out (generous bound: many recv_timeouts, not one delay).
+        assert elapsed < 15
+
+    def test_delay_within_timeout_is_not_a_failure(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT, 2, faults="delay@0:k2:0.05", recv_timeout=30.0
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log == []
+
+
+class TestCorruptReplies:
+    @pytest.mark.parametrize("k", TINY_POOL_PASSES)
+    def test_truncated_vector_recovers(self, tiny_serial, k):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT, 3, faults=f"corrupt@1:k{k}", backoff_base=0.01
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].failure == "corrupt"
+
+
+class TestWorkerErrors:
+    def test_error_frame_surfaces_in_exception(self, tiny_serial):
+        """A worker-side exception is a structured error frame, not a
+        silent death: the parent raises with the worker's message."""
+        db, _ = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 2, faults="error@0:k2")
+        with pytest.raises(WorkerError, match="worker 0 failed at pass 2"):
+            miner.mine(db)
+
+    def test_error_message_includes_cause(self, tiny_serial):
+        db, _ = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 2, faults="error@1:k2")
+        with pytest.raises(WorkerError, match="injected worker error"):
+            miner.mine(db)
+
+
+class TestDegradationLadder:
+    def test_adoption_when_respawn_refused(self, tiny_serial):
+        """refuse-spawn exhausts the respawn rung; a survivor adopts."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            2,
+            faults="kill@0:k2,refuse-spawn:10",
+            max_retries=1,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].action == "adopted"
+
+    def test_adopted_block_counted_in_later_passes(self, tiny_serial):
+        # Adoption at pass 2 must keep the block in the totals at pass 3.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="kill@2:k2,refuse-spawn:10",
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+
+    def test_inprocess_when_pool_collapses(self, tiny_serial):
+        """Single worker, killed, respawn refused: mining continues
+        in-process and still matches serial."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            1,
+            faults="kill@0:k2,refuse-spawn:10",
+            max_retries=1,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].action == "inprocess"
+
+    def test_collapse_midway_through_passes(self, tiny_serial):
+        # Collapse at pass 3 (after a healthy pass 2): the fallback path
+        # must count every pass that remains.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            1,
+            faults="kill@0:k3,refuse-spawn:10",
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+
+
+class TestRandomizedFailures:
+    """Property: any seeded sequence of single-worker failures across
+    passes recovers counts identical to the reference kernel's."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_failure_sequences_fork(self, tiny_serial, seed):
+        if not _has_start_method("fork"):
+            pytest.skip("fork start method unavailable")
+        db, serial = tiny_serial
+        spec = FaultSpec.single_kills(
+            seed, num_workers=3, passes=TINY_POOL_PASSES
+        )
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            start_method="fork",
+            faults=spec,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent, (
+            f"seed {seed} ({spec.format() or 'no faults'}) diverged"
+        )
+        assert len(miner.fault_log) == len(spec)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.timeout(180)
+    def test_seeded_failure_sequences_spawn(self, tiny_serial, seed):
+        if not _has_start_method("spawn"):
+            pytest.skip("spawn start method unavailable")
+        db, serial = tiny_serial
+        spec = FaultSpec.single_kills(
+            seed, num_workers=2, passes=TINY_POOL_PASSES, probability=1.0
+        )
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            2,
+            start_method="spawn",
+            faults=spec,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert len(miner.fault_log) == len(spec)
+
+    def test_reference_kernel_agrees_under_faults(self, tiny_serial):
+        db, serial = tiny_serial
+        for kernel in ("reference", "fast"):
+            miner = NativeCountDistribution(
+                TINY_SUPPORT,
+                3,
+                kernel=kernel,
+                faults="kill@0:k2,corrupt@1:k3",
+                backoff_base=0.01,
+            )
+            result = miner.mine(db)
+            assert result.frequent == serial.frequent
+
+
+class TestFaultFreeRunsUnchanged:
+    def test_empty_spec_logs_nothing(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 3, faults=FaultSpec())
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log == []
+
+    def test_fault_for_pass_never_reached_is_inert(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 2, faults="kill@0:k9")
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log == []
+
+    def test_fault_for_missing_worker_is_inert(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 2, faults="kill@7:k2")
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log == []
+
+
+class TestKnobValidation:
+    def test_rejects_bad_recv_timeout(self):
+        with pytest.raises(ValueError, match="recv_timeout"):
+            NativeCountDistribution(0.1, 2, recv_timeout=0)
+
+    def test_rejects_bad_max_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            NativeCountDistribution(0.1, 2, max_retries=-1)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ValueError, match="backoff_base"):
+            NativeCountDistribution(0.1, 2, backoff_base=-0.1)
+
+    def test_fault_spec_string_coerced(self):
+        miner = NativeCountDistribution(0.1, 2, faults="kill@0:k2")
+        assert isinstance(miner.faults, FaultSpec)
+
+    def test_bad_fault_spec_string_rejected(self):
+        with pytest.raises(ValueError):
+            NativeCountDistribution(0.1, 2, faults="implode@0:k2")

@@ -97,6 +97,49 @@ class TestMineCommand:
         assert "IBM SP2" in capsys.readouterr().out
 
 
+class TestNativeMineCommand:
+    def test_native_mine(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine", str(dat_file), "--min-support", "0.3",
+                "--algorithm", "native", "--processors", "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "native CD on 2 worker processes" in out
+        assert "frequent item-sets" in out
+
+    def test_native_mine_with_fault_spec(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine", str(dat_file), "--min-support", "0.3",
+                "--algorithm", "native", "--processors", "2",
+                "--fault-spec", "kill@0:k2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "pass 2: worker 0 died -> respawned" in out
+
+    def test_simulated_mine_with_fault_spec(self, dat_file, capsys):
+        exit_code = main(
+            [
+                "mine", str(dat_file), "--min-support", "0.3",
+                "--algorithm", "CD", "--processors", "2",
+                "--fault-spec", "kill@0:k2",
+            ]
+        )
+        assert exit_code == 0
+        assert "frequent item-sets" in capsys.readouterr().out
+
+    def test_fault_knob_defaults(self, dat_file):
+        args = build_parser().parse_args(["mine", str(dat_file)])
+        assert args.fault_spec is None
+        assert args.recv_timeout == 30.0
+        assert args.max_retries == 2
+
+
 class TestGenerateCommand:
     def test_generates_file(self, tmp_path, capsys):
         out_path = tmp_path / "synthetic.dat"

@@ -1,0 +1,152 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultRecord, FaultSpec
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("explode", worker=0, k=2)
+
+    def test_rejects_negative_worker(self):
+        with pytest.raises(ValueError, match="worker index"):
+            FaultEvent("kill", worker=-1, k=2)
+
+    def test_rejects_pass_one(self):
+        # Pass 1 is a serial scan; the pool never sees it.
+        with pytest.raises(ValueError, match="k >= 2"):
+            FaultEvent("kill", worker=0, k=1)
+
+    def test_rejects_bad_kill_timing(self):
+        with pytest.raises(ValueError, match="before.*mid"):
+            FaultEvent("kill", worker=0, k=2, when="after")
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            FaultEvent("delay", worker=0, k=2, delay=-1.0)
+
+    def test_rejects_zero_refusals(self):
+        with pytest.raises(ValueError, match="refusal count"):
+            FaultEvent("refuse-spawn", count=0)
+
+
+class TestParse:
+    def test_parse_kill(self):
+        spec = FaultSpec.parse("kill@0:k2")
+        assert spec.events == (FaultEvent("kill", worker=0, k=2),)
+
+    def test_parse_kill_mid(self):
+        spec = FaultSpec.parse("kill@3:k4:mid")
+        assert spec.events[0].when == "mid"
+
+    def test_parse_delay(self):
+        spec = FaultSpec.parse("delay@1:k3:0.5")
+        event = spec.events[0]
+        assert (event.kind, event.worker, event.k, event.delay) == (
+            "delay", 1, 3, 0.5,
+        )
+
+    def test_parse_multiple(self):
+        spec = FaultSpec.parse("kill@0:k2, corrupt@1:k2 ,refuse-spawn:2")
+        assert [e.kind for e in spec] == ["kill", "corrupt", "refuse-spawn"]
+
+    def test_parse_refuse_spawn_default_count(self):
+        assert FaultSpec.parse("refuse-spawn").refusals() == 1
+
+    def test_parse_empty_string_is_empty_spec(self):
+        assert len(FaultSpec.parse("")) == 0
+
+    def test_delay_requires_seconds(self):
+        with pytest.raises(ValueError, match="needs seconds"):
+            FaultSpec.parse("delay@0:k2")
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultSpec.parse("kill0:k2")
+
+    def test_corrupt_takes_no_extra(self):
+        with pytest.raises(ValueError, match="no extra"):
+            FaultSpec.parse("corrupt@0:k2:mid")
+
+    def test_format_round_trips(self):
+        text = "kill@0:k2,kill@1:k3:mid,delay@2:k2:0.25,corrupt@0:k4,error@1:k2,refuse-spawn:3"
+        assert FaultSpec.parse(text).format() == text
+
+    def test_of_coerces_string(self):
+        spec = FaultSpec.of("kill@0:k2")
+        assert isinstance(spec, FaultSpec)
+        assert spec.events[0].kind == "kill"
+
+    def test_of_passes_through(self):
+        spec = FaultSpec.parse("kill@0:k2")
+        assert FaultSpec.of(spec) is spec
+        assert FaultSpec.of(None) is None
+
+    def test_of_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            FaultSpec.of(42)
+
+
+class TestQueries:
+    def test_worker_events_filters_by_worker(self):
+        spec = FaultSpec.parse("kill@0:k2,delay@1:k2:0.1,corrupt@0:k3")
+        kinds = [e.kind for e in spec.worker_events(0)]
+        assert kinds == ["kill", "corrupt"]
+        assert [e.kind for e in spec.worker_events(1)] == ["delay"]
+        assert spec.worker_events(9) == []
+
+    def test_refusals_sum(self):
+        spec = FaultSpec.parse("refuse-spawn:2,kill@0:k2,refuse-spawn")
+        assert spec.refusals() == 3
+
+    def test_failing_at_only_kills(self):
+        spec = FaultSpec.parse("kill@2:k2,kill@0:k2,delay@1:k2:0.1,kill@1:k3")
+        assert spec.failing_at(2) == [0, 2]
+        assert spec.failing_at(3) == [1]
+        assert spec.failing_at(4) == []
+
+    def test_max_pass(self):
+        spec = FaultSpec.parse("kill@0:k2,corrupt@1:k5,refuse-spawn")
+        assert spec.max_pass() == 5
+        assert FaultSpec().max_pass() == 0
+
+
+class TestSingleKills:
+    def test_deterministic_in_seed(self):
+        a = FaultSpec.single_kills(7, num_workers=4, passes=range(2, 6))
+        b = FaultSpec.single_kills(7, num_workers=4, passes=range(2, 6))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        specs = {
+            FaultSpec.single_kills(s, num_workers=4, passes=range(2, 8)).format()
+            for s in range(10)
+        }
+        assert len(specs) > 1
+
+    def test_at_most_one_kill_per_pass(self):
+        spec = FaultSpec.single_kills(3, num_workers=3, passes=range(2, 10))
+        passes = [e.k for e in spec]
+        assert len(passes) == len(set(passes))
+        assert all(e.kind == "kill" for e in spec)
+        assert all(0 <= e.worker < 3 for e in spec)
+
+    def test_probability_one_kills_every_pass(self):
+        spec = FaultSpec.single_kills(
+            0, num_workers=2, passes=range(2, 5), probability=1.0
+        )
+        assert [e.k for e in spec] == [2, 3, 4]
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            FaultSpec.single_kills(0, num_workers=0, passes=range(2, 3))
+
+
+class TestFaultRecord:
+    def test_fields(self):
+        record = FaultRecord(k=3, worker=1, failure="timeout", action="respawned", attempts=2)
+        assert record.k == 3
+        assert record.failure == "timeout"
+        assert record.action == "respawned"
