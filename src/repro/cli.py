@@ -31,11 +31,24 @@ from .data.corpus import t15_i6
 from .data.io import read_dat, write_dat
 from .data.quest import generate
 from .experiments.registry import EXPERIMENTS, run_experiment
+from .faults import FaultSpec
 from .parallel.runner import ALGORITHMS, mine_parallel
 
 __all__ = ["main", "build_parser"]
 
 _MACHINES = {"t3e": CRAY_T3E, "sp2": IBM_SP2}
+
+
+def _fault_spec_arg(text: str) -> FaultSpec:
+    """argparse ``type=`` callback: parse --fault-spec at the CLI edge.
+
+    A malformed spec becomes an argparse usage error instead of a raw
+    ValueError traceback from deep inside miner construction.
+    """
+    try:
+        return FaultSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument(
         "--fault-spec",
+        type=_fault_spec_arg,
         default=None,
         metavar="SPEC",
         help=(

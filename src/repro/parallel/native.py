@@ -29,7 +29,12 @@ transaction block is recovered down a fixed degradation ladder:
 
 Every rung recounts the failed block from scratch, so the mined result
 is bit-identical to serial :class:`~repro.core.apriori.Apriori` no
-matter which failures occur.  Worker-side exceptions do *not* kill the
+matter which failures occur.  Two safeguards keep concurrent failures
+from cross-contaminating: request/reply frames carry an echoed sequence
+number (a slow worker's late reply to an old request is discarded, not
+mistaken for the answer to a new one), and workers that failed in the
+same pass are never asked to adopt each other's blocks — each gets its
+own trip down the ladder.  Worker-side exceptions do *not* kill the
 worker silently: they come back as a structured error frame and raise
 :class:`WorkerError` in the parent — a deterministic application error
 is surfaced, while process deaths (crash, OOM-kill, injected kill) are
@@ -110,15 +115,18 @@ def _worker_main(
 
     Request frames (parent → worker):
 
-    * ``("pass", k, candidates)`` — count all held blocks;
-    * ``("adopt", new_blocks, k, candidates)`` — permanently add a dead
-      peer's blocks to the holdings and count *only those* for the
+    * ``("pass", seq, k, candidates)`` — count all held blocks;
+    * ``("adopt", seq, new_blocks, k, candidates)`` — permanently add a
+      dead peer's blocks to the holdings and count *only those* for the
       current pass (the worker already returned its own counts);
     * ``None`` — shut down.
 
-    Reply frames (worker → parent): ``("ok", vector)`` on success or
-    ``("error", message)`` when counting raised — the parent surfaces
-    the message instead of seeing a silent death.
+    Reply frames (worker → parent): ``("ok", seq, vector)`` on success
+    or ``("error", seq, message)`` when counting raised — the parent
+    surfaces the message instead of seeing a silent death.  Every reply
+    echoes the request's ``seq``, so the parent can tell a reply to the
+    frame it just sent from a late reply to an earlier frame (a slow
+    worker's stale pass reply must never be read as an adopt result).
 
     ``fault_events`` are this worker's injected failures from a
     :class:`~repro.faults.FaultSpec`; each fires once.
@@ -137,11 +145,11 @@ def _worker_main(
             if message is None:
                 break
             if message[0] == "adopt":
-                _, new_blocks, k, candidates = message
+                _, seq, new_blocks, k, candidates = message
                 blocks.extend(new_blocks)
                 count_blocks: Sequence = new_blocks
             else:
-                _, k, candidates = message
+                _, seq, k, candidates = message
                 count_blocks = blocks
             kill = take("kill", k)
             if kill is not None and kill.when == "before":
@@ -155,7 +163,7 @@ def _worker_main(
                     count_blocks, k, candidates, kernel, branching, leaf_capacity
                 )
             except Exception as exc:  # surfaced, never swallowed
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
                 continue
             if kill is not None:  # when == "mid": die after the work
                 os._exit(_KILLED_EXIT)
@@ -163,7 +171,7 @@ def _worker_main(
                 time.sleep(delay.delay)
             if corrupt is not None:
                 vector = vector[:-1]
-            conn.send(("ok", vector))
+            conn.send(("ok", seq, vector))
     except EOFError:
         pass
     finally:
@@ -222,6 +230,10 @@ class _WorkerPool:
         self._faults = faults or FaultSpec()
         # refuse-spawn gates *respawns* (recovery), not the initial pool.
         self._refusals_left = self._faults.refusals()
+        # Monotonic request counter: every frame carries it and every
+        # reply echoes it, so stale replies are recognizable (see
+        # _read_reply).
+        self._seq = 0
         self._slots: Dict[int, _Slot] = {}
         self._fallback_blocks: List[Sequence[Itemset]] = []
         self.fault_log: List[FaultRecord] = []
@@ -268,11 +280,12 @@ class _WorkerPool:
         # by their recovery rung, not double-counted here.
         fallback_snapshot = list(self._fallback_blocks)
         failures: List[Tuple[int, str]] = []
-        pending: Dict[object, int] = {}
+        pending: Dict[object, Tuple[int, int]] = {}
         for wid, slot in list(self._slots.items()):
+            seq = self._next_seq()
             try:
-                slot.conn.send(("pass", k, candidates))
-                pending[slot.conn] = wid
+                slot.conn.send(("pass", seq, k, candidates))
+                pending[slot.conn] = (wid, seq)
             except (BrokenPipeError, OSError, ValueError):
                 failures.append((wid, "died"))
         deadline = time.monotonic() + self.recv_timeout
@@ -281,17 +294,30 @@ class _WorkerPool:
             if remaining <= 0:
                 break
             for conn in _connection_wait(list(pending), timeout=remaining):
-                wid = pending.pop(conn)
-                vector, failure = self._read_reply(conn, wid, k, len(candidates))
+                wid, seq = pending[conn]
+                vector, failure = self._read_reply(
+                    conn, wid, k, len(candidates), seq
+                )
+                if failure == "stale":
+                    continue  # keep waiting for the current reply
+                del pending[conn]
                 if vector is None:
                     failures.append((wid, failure))
                 else:
                     for index, count in enumerate(vector):
                         totals[index] += count
-        for wid in pending.values():
+        for wid, _seq in pending.values():
             failures.append((wid, "timeout"))
+        # Workers that failed this pass but have not been recovered yet
+        # must not serve as adoption targets for each other: a dead one
+        # would crash the ask, and a slow-but-alive one would race its
+        # own recovery (its block would end up counted twice).
+        unrecovered = [wid for wid, _ in failures]
         for wid, failure in failures:
-            vector = self._recover(wid, k, candidates, failure)
+            unrecovered.remove(wid)
+            vector = self._recover(
+                wid, k, candidates, failure, exclude=frozenset(unrecovered)
+            )
             for index, count in enumerate(vector):
                 totals[index] += count
         if fallback_snapshot:
@@ -300,17 +326,30 @@ class _WorkerPool:
                 totals[index] += count
         return totals
 
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
     def _read_reply(
-        self, conn, wid: int, k: int, expected: int
+        self, conn, wid: int, k: int, expected: int, seq: int
     ) -> Tuple[Optional[List[int]], str]:
-        """Read one reply frame; return (vector, "") or (None, failure)."""
+        """Read one reply frame; return (vector, "") or (None, failure).
+
+        A reply echoing a sequence number other than ``seq`` answers an
+        *earlier* request (a slow worker draining its queue) and is
+        reported as ``"stale"``: the caller discards it and keeps
+        waiting rather than mistaking it for the current reply — even
+        when the payload happens to have the expected length.
+        """
         try:
             frame = conn.recv()
         except (EOFError, OSError):
             return None, "died"
-        if not (isinstance(frame, tuple) and len(frame) == 2):
+        if not (isinstance(frame, tuple) and len(frame) == 3):
             return None, "corrupt"
-        tag, payload = frame
+        tag, frame_seq, payload = frame
+        if frame_seq != seq:
+            return None, "stale"
         if tag == "error":
             raise WorkerError(
                 f"worker {wid} failed at pass {k}: {payload}"
@@ -324,7 +363,12 @@ class _WorkerPool:
     # ------------------------------------------------------------------
 
     def _recover(
-        self, wid: int, k: int, candidates: Sequence[Itemset], failure: str
+        self,
+        wid: int,
+        k: int,
+        candidates: Sequence[Itemset],
+        failure: str,
+        exclude: frozenset = frozenset(),
     ) -> List[int]:
         """Recount a failed worker's blocks; reassign them for future passes.
 
@@ -332,8 +376,17 @@ class _WorkerPool:
         by a surviving worker → in-process counting.  Whatever rung
         succeeds, the returned vector covers exactly the failed slot's
         blocks for pass ``k``.
+
+        ``exclude`` holds worker ids that also failed this pass and are
+        still awaiting their own recovery; they are not survivors (their
+        pass-``k`` counts were never collected) and must not be asked to
+        adopt.
         """
-        slot = self._slots.pop(wid)
+        slot = self._slots.pop(wid, None)
+        if slot is None:  # pragma: no cover - defensive; _recover runs
+            # at most once per wid and adoption never touches excluded
+            # same-pass failures, so the slot is always present.
+            return [0] * len(candidates)
         blocks = slot.blocks
         # A replacement must not replay the failure that killed its
         # predecessor; it inherits only events for *future* passes.
@@ -361,6 +414,8 @@ class _WorkerPool:
             self._discard(replacement)
 
         for survivor_id in list(self._slots):
+            if survivor_id in exclude:
+                continue
             survivor = self._slots[survivor_id]
             vector = self._ask(
                 survivor, ("adopt", blocks, k, candidates), survivor_id, k, expected
@@ -390,15 +445,25 @@ class _WorkerPool:
     def _ask(
         self, slot: _Slot, request, wid: int, k: int, expected: int
     ) -> Optional[List[int]]:
-        """Send one request to one slot; poll-bounded reply or ``None``."""
+        """Send one request to one slot; poll-bounded reply or ``None``.
+
+        The request (sans sequence number) gains a fresh ``seq`` before
+        sending; stale replies to earlier frames are drained and
+        ignored, so only the answer to *this* request can be returned.
+        """
+        seq = self._next_seq()
         try:
-            slot.conn.send(request)
+            slot.conn.send((request[0], seq) + tuple(request[1:]))
         except (BrokenPipeError, OSError, ValueError):
             return None
-        if not slot.conn.poll(self.recv_timeout):
-            return None
-        vector, _ = self._read_reply(slot.conn, wid, k, expected)
-        return vector
+        deadline = time.monotonic() + self.recv_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not slot.conn.poll(remaining):
+                return None
+            vector, failure = self._read_reply(slot.conn, wid, k, expected, seq)
+            if failure != "stale":
+                return vector
 
     def _spawn(
         self,

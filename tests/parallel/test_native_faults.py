@@ -228,6 +228,111 @@ class TestDegradationLadder:
         assert result.frequent == serial.frequent
 
 
+class TestConcurrentSamePassFailures:
+    """Multiple workers failing in one pass must recover independently.
+
+    Regressions: the adoption rung used to treat same-pass failed peers
+    as survivors — asking a dead one crashed the next recovery with a
+    KeyError, and asking a slow-but-alive one could read its stale pass
+    reply as the adopt result, double-counting its block.
+    """
+
+    def test_two_kills_same_pass_respawn_refused(self, tiny_serial):
+        # Both workers die at pass 2 and respawn is refused: neither may
+        # be asked to adopt the other's block; both degrade in-process.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            2,
+            faults="kill@0:k2,kill@1:k2,refuse-spawn:10",
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert sorted(
+            (r.worker, r.action) for r in miner.fault_log
+        ) == [(0, "inprocess"), (1, "inprocess")]
+
+    def test_two_kills_same_pass_survivor_adopts_both(self, tiny_serial):
+        # With a genuine survivor present, it (and only it) adopts.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="kill@0:k2,kill@1:k2,refuse-spawn:10",
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert [r.action for r in miner.fault_log] == ["adopted", "adopted"]
+
+    @pytest.mark.timeout(60)
+    def test_kill_plus_slow_peer_same_pass_respawn_refused(self, tiny_serial):
+        # Worker 1 is slow-but-alive (timeout failure) while worker 0 is
+        # dead and unrespawnable.  Worker 1 must not adopt worker 0's
+        # block: its own recovery would then double-count it.
+        import time
+
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            2,
+            faults="kill@0:k2,delay@1:k2:30,refuse-spawn:10",
+            recv_timeout=0.2,
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        start = time.monotonic()
+        result = miner.mine(db)
+        elapsed = time.monotonic() - start
+        assert result.frequent == serial.frequent
+        assert sorted(
+            (r.worker, r.failure, r.action) for r in miner.fault_log
+        ) == [(0, "died", "inprocess"), (1, "timeout", "inprocess")]
+        assert elapsed < 15  # the 30s sleeper is terminated, not awaited
+
+    def test_kill_plus_slow_peer_same_pass_both_respawn(self, tiny_serial):
+        # Same concurrent failure, but respawning works: each failed slot
+        # gets its own fresh replacement and the totals stay exact.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            faults="kill@0:k2,delay@1:k2:30",
+            recv_timeout=0.2,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert sorted(
+            (r.worker, r.action) for r in miner.fault_log
+        ) == [(0, "respawned"), (1, "respawned")]
+
+
+class TestStaleReplies:
+    def test_read_reply_discards_mismatched_seq(self):
+        """A reply echoing an older seq is 'stale', never a result —
+        even when its payload has the expected length."""
+        from multiprocessing import Pipe
+
+        from repro.parallel.native import _WorkerPool
+
+        pool = _WorkerPool.__new__(_WorkerPool)  # protocol check only
+        parent, child = Pipe()
+        try:
+            child.send(("ok", 7, [1, 2, 3]))  # late answer to request 7
+            child.send(("ok", 8, [4, 5, 6]))  # answer to request 8
+            vector, failure = pool._read_reply(parent, 0, 2, 3, seq=8)
+            assert (vector, failure) == (None, "stale")
+            vector, failure = pool._read_reply(parent, 0, 2, 3, seq=8)
+            assert (vector, failure) == ([4, 5, 6], "")
+        finally:
+            parent.close()
+            child.close()
+
+
 class TestRandomizedFailures:
     """Property: any seeded sequence of single-worker failures across
     passes recovers counts identical to the reference kernel's."""

@@ -139,6 +139,31 @@ class TestNativeMineCommand:
         assert args.recv_timeout == 30.0
         assert args.max_retries == 2
 
+    def test_fault_spec_parsed_at_cli_edge(self, dat_file):
+        from repro.faults import FaultSpec
+
+        args = build_parser().parse_args(
+            ["mine", str(dat_file), "--fault-spec", "kill@0:k2"]
+        )
+        assert isinstance(args.fault_spec, FaultSpec)
+        assert args.fault_spec.format() == "kill@0:k2"
+
+    def test_malformed_fault_spec_is_usage_error(self, dat_file, capsys):
+        # e.g. 'kill@0' (no pass number) must be an argparse usage
+        # error, not a raw ValueError traceback from miner construction.
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "mine", str(dat_file),
+                    "--algorithm", "native",
+                    "--fault-spec", "kill@0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--fault-spec" in err
+        assert "malformed fault event" in err
+
 
 class TestGenerateCommand:
     def test_generates_file(self, tmp_path, capsys):
