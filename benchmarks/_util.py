@@ -14,24 +14,29 @@ from pathlib import Path
 from typing import Dict
 
 RESULTS_DIR = Path(__file__).parent / "results"
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_core.json"
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_core.json"
 
 
-def record_bench_medians(medians: Dict[str, float]) -> Dict[str, float]:
-    """Merge ``name -> median seconds`` entries into ``BENCH_core.json``.
+def record_bench_medians(
+    medians: Dict[str, float], path: Path = BENCH_JSON
+) -> Dict[str, float]:
+    """Merge ``name -> median seconds`` entries into a bench JSON file.
 
-    The file lives at the repo root and accumulates across bench runs,
-    so a partial run (e.g. ``-k kernel``) refreshes only its own keys.
-    Returns the full mapping as written.
+    ``path`` defaults to ``BENCH_core.json`` at the repo root (the core
+    kernel benches); ``bench_native.py`` passes ``BENCH_native.json``.
+    The file accumulates across bench runs, so a partial run (e.g.
+    ``-k kernel``) refreshes only its own keys.  Returns the full
+    mapping as written.
     """
     data: Dict[str, float] = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            data = json.loads(path.read_text(encoding="utf-8"))
         except ValueError:
             data = {}
     data.update(medians)
-    BENCH_JSON.write_text(
+    path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return data

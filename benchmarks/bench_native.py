@@ -1,0 +1,117 @@
+"""Data-plane benchmark for the native pool: pickle vs shared memory.
+
+Mines the same Quest workload on both data planes at 1, 2, and 4
+workers and records, per configuration, the median wall-clock of a full
+mine and the median **per-pass coordinator overhead** — the time the
+coordinator spends broadcasting candidates and reducing count vectors
+(:class:`~repro.parallel.native.PassOverhead`), as opposed to waiting
+on worker compute.  That overhead is exactly what the zero-copy plane
+exists to remove: on the pickle plane the coordinator re-serializes the
+candidate list once per worker per pass and unpickles every count
+vector; on the shared plane it writes one binary candidate frame and
+reads count vectors straight out of shared int64 slots.
+
+Medians land in ``BENCH_native.json`` at the repo root; the headline
+contract (asserted here, cited in the README) is that the shared plane
+cuts coordinator overhead by at least 2x at 4 workers.
+
+Set ``REPRO_BENCH_TINY=1`` (CI's bench smoke step) to run a
+seconds-scale workload that exercises the full measurement path without
+asserting the ratio — tiny runs are dominated by fixed per-segment
+costs, not per-candidate serialization, so the contract is only
+meaningful at full size.
+"""
+
+import os
+import statistics
+import time
+
+import pytest
+
+from benchmarks._util import REPO_ROOT, record_bench_medians
+from repro.data.corpus import t15_i6
+from repro.data.quest import generate
+from repro.parallel.native import DATA_PLANES, NativeCountDistribution
+
+BENCH_NATIVE_JSON = REPO_ROOT / "BENCH_native.json"
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+# Full mode: ~125k candidates across passes 2-3, where per-candidate
+# serialization dominates the coordinator's pass loop.  Tiny mode: the
+# same passes on a small db, for CI smoke under pytest-timeout.
+if TINY:
+    NUM_TRANSACTIONS, NUM_ITEMS, MIN_SUPPORT, ROUNDS = 120, 80, 0.05, 1
+else:
+    NUM_TRANSACTIONS, NUM_ITEMS, MIN_SUPPORT, ROUNDS = 1500, 600, 0.005, 3
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(
+        t15_i6(NUM_TRANSACTIONS, seed=7, num_items=NUM_ITEMS)
+    )
+
+
+def _measure(db, data_plane: str, num_workers: int):
+    """Median (wall_s, coordinator_s per pass) over ROUNDS mines."""
+    walls, coords = [], []
+    frequent = None
+    for _ in range(ROUNDS):
+        miner = NativeCountDistribution(
+            MIN_SUPPORT, num_workers, data_plane=data_plane, max_k=3
+        )
+        start = time.perf_counter()
+        result = miner.mine(db)
+        walls.append(time.perf_counter() - start)
+        overheads = miner.last_pass_overheads
+        coords.append(
+            sum(o.coordinator_s for o in overheads) / max(1, len(overheads))
+        )
+        if frequent is None:
+            frequent = result.frequent
+        else:
+            assert result.frequent == frequent  # determinism across rounds
+    return statistics.median(walls), statistics.median(coords), frequent
+
+
+def test_data_plane_comparison(db):
+    """Pickle vs shared plane at 1/2/4 workers -> BENCH_native.json."""
+    medians = {}
+    baseline_frequent = None
+    for num_workers in WORKER_COUNTS:
+        for plane in DATA_PLANES:
+            wall, coord, frequent = _measure(db, plane, num_workers)
+            medians[f"native.{plane}.w{num_workers}.wall_s"] = wall
+            medians[f"native.{plane}.w{num_workers}.coord_pass_s"] = coord
+            if baseline_frequent is None:
+                baseline_frequent = frequent
+            else:
+                # Identical results across planes and worker counts.
+                assert frequent == baseline_frequent
+        ratio = (
+            medians[f"native.pickle.w{num_workers}.coord_pass_s"]
+            / medians[f"native.shared.w{num_workers}.coord_pass_s"]
+        )
+        medians[f"native.w{num_workers}.coord_ratio"] = ratio
+        print(
+            f"\n{num_workers} worker(s): "
+            f"wall pickle {medians[f'native.pickle.w{num_workers}.wall_s']:.3f}s"
+            f" / shared {medians[f'native.shared.w{num_workers}.wall_s']:.3f}s"
+            f"; coordinator/pass pickle "
+            f"{medians[f'native.pickle.w{num_workers}.coord_pass_s'] * 1e3:.1f}ms"
+            f" / shared "
+            f"{medians[f'native.shared.w{num_workers}.coord_pass_s'] * 1e3:.1f}ms"
+            f" ({ratio:.2f}x)"
+        )
+
+    record_bench_medians(medians, path=BENCH_NATIVE_JSON)
+
+    if not TINY:
+        ratio_4 = medians["native.w4.coord_ratio"]
+        assert ratio_4 >= 2.0, (
+            f"shared plane only cut coordinator overhead {ratio_4:.2f}x "
+            "at 4 workers (need >= 2x)"
+        )

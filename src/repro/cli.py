@@ -31,7 +31,9 @@ from .data.corpus import t15_i6
 from .data.io import read_dat, write_dat
 from .data.quest import generate
 from .experiments.registry import EXPERIMENTS, run_experiment
+from .core.kernels import validate_kernel
 from .faults import FaultSpec
+from .parallel.native import validate_data_plane
 from .parallel.runner import ALGORITHMS, mine_parallel
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +49,22 @@ def _fault_spec_arg(text: str) -> FaultSpec:
     """
     try:
         return FaultSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _kernel_arg(text: str) -> str:
+    """argparse ``type=`` callback: validate --kernel at the CLI edge."""
+    try:
+        return validate_kernel(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _data_plane_arg(text: str) -> str:
+    """argparse ``type=`` callback: validate --data-plane at the CLI edge."""
+    try:
+        return validate_data_plane(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
 
@@ -85,6 +103,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine", choices=sorted(_MACHINES), default="t3e"
     )
     mine.add_argument("--max-k", type=int, default=None)
+    mine.add_argument(
+        "--kernel",
+        type=_kernel_arg,
+        default=None,
+        metavar="{reference,fast}",
+        help=(
+            "counting kernel: 'reference' (instrumented object hash "
+            "tree) or 'fast' (flat-array tree + triangular pass-2 "
+            "counter); counts are bit-identical — omit to keep each "
+            "algorithm's default"
+        ),
+    )
+    mine.add_argument(
+        "--data-plane",
+        type=_data_plane_arg,
+        default=None,
+        metavar="{pickle,shared}",
+        help=(
+            "native pool only: 'shared' (default; packed transactions "
+            "in shared memory, binary candidate broadcast, shared "
+            "count vectors) or 'pickle' (serialize everything over the "
+            "worker pipes); results are identical"
+        ),
+    )
     mine.add_argument(
         "--fault-spec",
         type=_fault_spec_arg,
@@ -144,6 +186,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "mine":
+        if args.data_plane is not None and args.algorithm != "native":
+            parser.error(
+                "--data-plane only applies to --algorithm native "
+                "(the simulated formulations have no worker processes)"
+            )
         return _cmd_mine(args)
     if args.command == "generate":
         return _cmd_generate(args)
@@ -153,8 +200,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = read_dat(args.database)
     print(f"loaded {len(db)} transactions from {args.database}")
+    kernel_kwargs = {} if args.kernel is None else {"kernel": args.kernel}
     if args.algorithm is None:
-        result = Apriori(args.min_support, max_k=args.max_k).mine(db)
+        result = Apriori(
+            args.min_support, max_k=args.max_k, **kernel_kwargs
+        ).mine(db)
         frequent = result.frequent
         num_transactions = result.num_transactions
         print(f"serial Apriori: {len(frequent)} frequent item-sets")
@@ -173,13 +223,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             recv_timeout=args.recv_timeout,
             max_retries=args.max_retries,
             faults=args.fault_spec,
+            data_plane=args.data_plane or "shared",
+            **kernel_kwargs,
         )
         result = miner.mine(db)
         frequent = result.frequent
         num_transactions = result.num_transactions
         print(
             f"native CD on {miner.last_pool_size or args.processors} worker "
-            f"processes: {len(frequent)} frequent item-sets"
+            f"processes ({miner.data_plane} data plane): "
+            f"{len(frequent)} frequent item-sets"
         )
         for record in miner.fault_log:
             print(
@@ -201,6 +254,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             machine=_MACHINES[args.machine],
             max_k=args.max_k,
             faults=args.fault_spec,
+            kernel=args.kernel,
         )
         frequent = result.frequent
         num_transactions = result.num_transactions

@@ -15,20 +15,30 @@ kernel:
 
 :func:`make_counter` is the single decision point: drivers name a
 kernel and get back an object with the shared counting surface
-(``count_transaction`` / ``count_database`` / ``counts`` / ``frequent``
-/ ``shape`` / ``add_counts`` / ``reset_counts``).
+(``count_transaction`` / ``count_database`` / ``count_packed`` /
+``counts`` / ``frequent`` / ``shape`` / ``add_counts`` /
+``reset_counts``).  ``count_packed`` consumes ``(offsets, items)``
+slices of a :class:`~repro.core.packed.PackedDB` — the zero-copy data
+plane feeds shared-memory stores straight into either kernel through
+:func:`count_packed_into`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 from .hashtree import HashTree
 from .hashtree_flat import FlatHashTree
 from .items import Itemset
 from .pass2 import PairCounter
 
-__all__ = ["KERNELS", "validate_kernel", "make_counter", "Counter"]
+__all__ = [
+    "KERNELS",
+    "validate_kernel",
+    "make_counter",
+    "count_packed_into",
+    "Counter",
+]
 
 KERNELS = ("reference", "fast")
 
@@ -90,3 +100,22 @@ def make_counter(
     tree = FlatHashTree(k, branching=branching, leaf_capacity=leaf_capacity)
     tree.insert_all(candidates)
     return tree
+
+
+def count_packed_into(
+    counter: Counter,
+    packed,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    root_filter=None,
+) -> None:
+    """Count packed-store transactions ``[lo, hi)`` into any counter.
+
+    Every kernel implements ``count_packed`` over a
+    :class:`~repro.core.packed.PackedDB`; this facade is the single
+    entry point drivers use so a counter from :func:`make_counter` and a
+    packed (possibly shared-memory-backed) store compose without the
+    driver knowing which kernel it holds.  Counts are bit-identical to
+    decoding the slice into a tuple and calling ``count_transaction``.
+    """
+    counter.count_packed(packed, lo, hi, root_filter)

@@ -159,6 +159,33 @@ class PairCounter:
         for transaction in transactions:
             count_transaction(transaction, root_filter)
 
+    def count_packed(
+        self,
+        packed,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        root_filter: Optional[Container[int]] = None,
+    ) -> None:
+        """Count transactions ``[lo, hi)`` of a packed columnar store.
+
+        The rank translation iterates ``(offsets, items)`` slices of a
+        :class:`~repro.core.packed.PackedDB` directly (zero-copy for
+        memoryview-backed stores); counts are identical to decoding each
+        transaction into a tuple first.
+        """
+        if root_filter is not None:
+            raise ValueError(
+                "PairCounter does not support root_filter; use a hash-tree "
+                "kernel for IDD-style first-item pruning"
+            )
+        if hi is None:
+            hi = len(packed)
+        offsets = packed.offsets
+        items = packed.items
+        count_transaction = self.count_transaction
+        for i in range(lo, hi):
+            count_transaction(items[offsets[i]:offsets[i + 1]])
+
     # ------------------------------------------------------------------
     # Count-table manipulation
     # ------------------------------------------------------------------

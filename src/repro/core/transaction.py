@@ -10,7 +10,7 @@ distribution used by CD/DD/IDD/HD) and summary statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from .items import Itemset, validate_itemset
 
@@ -116,19 +116,44 @@ class TransactionDB:
         Raises:
             ValueError: if ``num_parts`` is not a positive integer.
         """
+        return [
+            TransactionDB.from_canonical(self._transactions[lo:hi])
+            for lo, hi in self.partition_bounds(num_parts)
+        ]
+
+    def partition_bounds(self, num_parts: int) -> List[Tuple[int, int]]:
+        """Index ranges ``[lo, hi)`` of the blocks :meth:`partition` makes.
+
+        The shared-memory data plane partitions by *range* into a packed
+        store that is encoded exactly once, so blocks are described
+        without copying any transactions.  By construction,
+        ``partition(p)[i] == db[lo:hi]`` for the ``i``-th bounds pair.
+
+        Raises:
+            ValueError: if ``num_parts`` is not a positive integer.
+        """
         if num_parts <= 0:
             raise ValueError(f"num_parts must be positive, got {num_parts}")
         n = len(self._transactions)
         base, extra = divmod(n, num_parts)
-        parts: List[TransactionDB] = []
+        bounds: List[Tuple[int, int]] = []
         start = 0
         for i in range(num_parts):
             size = base + (1 if i < extra else 0)
-            parts.append(
-                TransactionDB.from_canonical(self._transactions[start:start + size])
-            )
+            bounds.append((start, start + size))
             start += size
-        return parts
+        return bounds
+
+    def to_packed(self):
+        """Encode into a :class:`~repro.core.packed.PackedDB`.
+
+        The columnar ``(offsets, items)`` form the counting kernels and
+        the native pool's shared-memory store consume; the round trip
+        ``db.to_packed().to_db() == db`` is exact.
+        """
+        from .packed import PackedDB
+
+        return PackedDB.pack(self._transactions)
 
     def size_in_bytes(self, bytes_per_item: int = 4) -> int:
         """Approximate on-disk size of the DB.

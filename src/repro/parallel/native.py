@@ -9,28 +9,47 @@ OS processes despite Python's GIL.
 
 The workers form a **persistent pool**: one process per non-empty
 transaction block, created once per
-:meth:`NativeCountDistribution.mine` call.  Each worker receives its
-block exactly once — by fork inheritance where the start method supports
-it, by a one-shot pickle at process start otherwise — and then serves
-*every* pass over a pipe, receiving only ``(k, candidates)`` and
-returning a count vector aligned with the candidate order.
+:meth:`NativeCountDistribution.mine` call.  Two data planes move the
+bits (``data_plane=``):
 
-The pool is **fault tolerant**.  Receives are poll-based with a per-pass
-deadline (no call ever blocks indefinitely); a worker that times out,
-dies, or replies with a malformed vector is declared failed, and its
-transaction block is recovered down a fixed degradation ladder:
+* ``"shared"`` (default) — the zero-copy plane.  The coordinator packs
+  the whole database once into a columnar
+  :class:`~repro.core.packed.PackedDB` laid out in a
+  ``multiprocessing.shared_memory`` segment; workers attach by name at
+  spawn and count ``(offsets, items)`` slices in place, so no
+  transaction is ever pickled (and a respawned or adopting worker
+  re-attaches instead of being re-shipped its blocks).  Each pass's
+  candidates are written once as a single binary frame into a shared
+  candidate segment that every worker reads, and each worker writes its
+  count vector into its own slot of a preallocated shared int64 region
+  — the pipes carry only small control/ack frames, so per-pass
+  communication is O(|C_k|) shared-memory traffic plus O(P) tiny
+  messages, which is the paper's CD communication argument realized
+  natively.
+* ``"pickle"`` — the escape hatch: blocks are shipped into each worker
+  once (fork inheritance or a one-shot pickle) and every pass exchanges
+  pickled candidate lists and count vectors over the pipes, as in the
+  original pool.
 
-1. **respawn** — a fresh replacement process takes over the block, with
+The pool is **fault tolerant** on either plane.  Receives are
+poll-based with a per-pass deadline (no call ever blocks indefinitely);
+a worker that times out, dies, or replies with a malformed vector is
+declared failed, and its transaction blocks are recovered down a fixed
+degradation ladder:
+
+1. **respawn** — a fresh replacement process takes over the blocks, with
    bounded retries under exponential backoff;
 2. **adopt** — if respawning fails (e.g. the OS refuses to fork), a
-   surviving worker permanently adopts the block;
-3. **in-process** — with no survivors the parent counts the block itself;
-   when the whole pool collapses, mining continues fully in-process.
+   surviving worker permanently adopts the blocks;
+3. **in-process** — with no survivors the parent counts the blocks
+   itself; when the whole pool collapses, mining continues fully
+   in-process.
 
-Every rung recounts the failed block from scratch, so the mined result
-is bit-identical to serial :class:`~repro.core.apriori.Apriori` no
-matter which failures occur.  Two safeguards keep concurrent failures
-from cross-contaminating: request/reply frames carry an echoed sequence
+Every rung recounts the failed blocks from scratch (on the shared plane
+straight from the shared store), so the mined result is bit-identical
+to serial :class:`~repro.core.apriori.Apriori` no matter which failures
+occur.  Two safeguards keep concurrent failures from
+cross-contaminating: request/reply frames carry an echoed sequence
 number (a slow worker's late reply to an old request is discarded, not
 mistaken for the answer to a new one), and workers that failed in the
 same pass are never asked to adopt each other's blocks — each gets its
@@ -40,6 +59,13 @@ worker silently: they come back as a structured error frame and raise
 is surfaced, while process deaths (crash, OOM-kill, injected kill) are
 recovered.
 
+Shared segments are owned by the coordinator: workers only ever attach
+(and deregister themselves from the resource tracker, since cleanup is
+not theirs), and :class:`_SharedSegments` unlinks every segment exactly
+once — on pool shutdown, on a failed pool start, and on the exception
+path out of a pass — so no run leaks a segment whatever failures were
+injected.
+
 Failure handling is driven by — and tested through — the deterministic
 fault-injection layer in :mod:`repro.faults`.
 """
@@ -47,24 +73,59 @@ fault-injection layer in :mod:`repro.faults`.
 from __future__ import annotations
 
 import os
+import secrets
+import struct
 import time
-from multiprocessing import get_context
+from array import array
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.candidates import generate_candidates
 from ..core.items import Itemset
-from ..core.kernels import make_counter, validate_kernel
+from ..core.kernels import count_packed_into, make_counter, validate_kernel
+from ..core.packed import (
+    PackedDB,
+    candidates_from_bytes,
+    candidates_nbytes,
+    packed_from_buffer,
+    packed_nbytes,
+    write_candidates_into,
+    write_packed_into,
+)
 from ..core.transaction import TransactionDB
 from ..faults import FaultEvent, FaultRecord, FaultSpec
 
-__all__ = ["NativeCountDistribution", "WorkerError"]
+__all__ = [
+    "NativeCountDistribution",
+    "WorkerError",
+    "PassOverhead",
+    "DATA_PLANES",
+    "validate_data_plane",
+]
 
 # Exit status of an injected kill; distinguishable from a Python crash
 # in `ps` output while debugging, invisible to the recovery logic (any
 # pipe EOF is "died").
 _KILLED_EXIT = 17
+
+DATA_PLANES = ("pickle", "shared")
+
+
+def validate_data_plane(data_plane: str) -> str:
+    """Return ``data_plane`` if it names a known native data plane.
+
+    Raises:
+        ValueError: for anything other than ``"pickle"`` or ``"shared"``.
+    """
+    if data_plane not in DATA_PLANES:
+        known = ", ".join(repr(p) for p in DATA_PLANES)
+        raise ValueError(
+            f"unknown data plane {data_plane!r}; expected one of: {known}"
+        )
+    return data_plane
 
 
 class WorkerError(RuntimeError):
@@ -72,23 +133,202 @@ class WorkerError(RuntimeError):
 
     Raised by the parent instead of attempting recovery: unlike a
     process death, an in-worker exception is deterministic — respawning
-    and recounting the same block with the same candidates would fail
+    and recounting the same blocks with the same candidates would fail
     the same way.
     """
 
 
-def _count_block_vector(
-    blocks: Sequence[Sequence[Itemset]],
+@dataclass
+class PassOverhead:
+    """Coordinator-side timing decomposition of one pool pass.
+
+    ``broadcast_s`` is the time the coordinator spends making candidates
+    available to the workers (shared plane: one binary segment write
+    plus P tiny frames; pickle plane: P pickled candidate lists);
+    ``reduce_s`` is the time spent decoding replies and summing count
+    vectors; ``wait_s`` is the time blocked waiting on worker replies —
+    i.e. worker compute, not coordinator overhead.  The data-plane
+    benchmark (``benchmarks/bench_native.py``) records
+    ``broadcast_s + reduce_s`` per plane.
+    """
+
+    k: int
+    num_candidates: int
+    broadcast_s: float = 0.0
+    reduce_s: float = 0.0
+    wait_s: float = 0.0
+
+    @property
+    def coordinator_s(self) -> float:
+        """Coordinator overhead for the pass (broadcast + reduce)."""
+        return self.broadcast_s + self.reduce_s
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing
+# ----------------------------------------------------------------------
+
+_SEGMENT_PREFIX = "repro-"
+
+
+def _segment_name(tag: str) -> str:
+    """A short, collision-resistant shm name carrying our prefix.
+
+    The explicit prefix lets tests assert no ``repro-*`` segment
+    outlives a run (``/dev/shm`` stays clean); the random token keeps
+    concurrent pools and stale crash leftovers from colliding.
+    """
+    return f"{_SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}-{tag}"
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a coordinator-owned segment from a worker process.
+
+    Attaching would register the segment with the resource tracker —
+    which workers share with the coordinator, so a worker-side
+    ``unregister`` (or tracker-driven cleanup at worker exit) would
+    clobber the coordinator's own registration and turn its eventual
+    ``unlink()`` into a tracker error.  Segment lifecycle belongs to the
+    coordinator alone, so the attach suppresses registration entirely.
+    (Python 3.13 exposes ``track=False`` for exactly this; earlier
+    versions need the patch.)
+    """
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class _SharedSegments:
+    """Coordinator-owned shared segments: store, counts, candidates.
+
+    * **store** — the packed transaction database, written exactly once.
+    * **counts** — ``num_slots`` int64 regions of ``counts_capacity``
+      entries each; worker ``w`` writes its pass vector at slot ``w``.
+      Grown (power-of-two) when a pass's candidate count exceeds the
+      capacity; the outgrown segment is unlinked immediately.
+    * **candidates** — one segment per pass holding the binary candidate
+      frame; publishing pass ``k + 1`` retires pass ``k``'s segment.
+
+    Every created segment is tracked in ``_live`` and :meth:`close`
+    unlinks whatever remains — exactly once, idempotently — so both the
+    normal shutdown path and abnormal exits (failed pool start,
+    :class:`WorkerError` mid-pass) leave nothing behind.
+    """
+
+    def __init__(self, packed: PackedDB, num_slots: int):
+        self._live: Dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        self.num_slots = num_slots
+        self.counts_capacity = 0
+        self._counts_name: Optional[str] = None
+        self._cand_name: Optional[str] = None
+        try:
+            store = self._create("db", packed_nbytes(packed))
+            write_packed_into(packed, store.buf)
+            self.store_name = store.name
+        except Exception:
+            self.close()
+            raise
+
+    def _create(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        for _ in range(3):
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=_segment_name(tag), create=True, size=max(nbytes, 8)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - token collision
+                continue
+        else:  # pragma: no cover - three collisions in a row
+            raise OSError(f"could not allocate shared segment for {tag!r}")
+        self._live[segment.name] = segment
+        return segment
+
+    def _unlink(self, name: str) -> None:
+        segment = self._live.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def publish_candidates(self, k: int, candidates: Sequence[Itemset]) -> str:
+        """Write one pass's candidates as a binary frame; return the name.
+
+        The previous pass's segment (if any) is retired first, so at
+        most one candidate segment is ever live.
+        """
+        if self._cand_name is not None:
+            self._unlink(self._cand_name)
+            self._cand_name = None
+        segment = self._create(
+            f"c{k}", candidates_nbytes(len(candidates), k)
+        )
+        write_candidates_into(candidates, k, segment.buf)
+        self._cand_name = segment.name
+        return segment.name
+
+    def ensure_counts(self, num_candidates: int) -> Tuple[str, int]:
+        """Return ``(name, capacity)`` of a count region fitting the pass."""
+        if self._counts_name is None or num_candidates > self.counts_capacity:
+            capacity = 1024
+            while capacity < num_candidates:
+                capacity *= 2
+            segment = self._create("cnt", 8 * capacity * self.num_slots)
+            if self._counts_name is not None:
+                self._unlink(self._counts_name)
+            self._counts_name = segment.name
+            self.counts_capacity = capacity
+        return self._counts_name, self.counts_capacity
+
+    def read_counts(self, slot: int, expected: int) -> List[int]:
+        """Decode worker ``slot``'s count vector from the shared region."""
+        segment = self._live[self._counts_name]
+        base = 8 * slot * self.counts_capacity
+        vector = array("q")
+        vector.frombytes(bytes(segment.buf[base:base + 8 * expected]))
+        return vector.tolist()
+
+    def close(self) -> None:
+        """Unlink every live segment; idempotent (exactly-once unlink)."""
+        if self._closed:
+            return
+        self._closed = True
+        for name in list(self._live):
+            self._unlink(name)
+        self._cand_name = None
+        self._counts_name = None
+
+
+# ----------------------------------------------------------------------
+# Counting shared by workers and the parent's in-process fallback
+# ----------------------------------------------------------------------
+
+
+def _count_holdings_vector(
+    packed: Optional[PackedDB],
+    holdings: Sequence,
     k: int,
     candidates: Sequence[Itemset],
     kernel: str,
     branching: int,
     leaf_capacity: int,
 ) -> List[int]:
-    """Count one pass over a list of blocks; vector in candidate order.
+    """Count one pass over a worker's holdings; vector in candidate order.
 
-    Shared by the worker loop and the parent's in-process degradation
-    path, so both produce identical counts by construction.
+    Holdings are plane-shaped: ``(lo, hi)`` ranges into ``packed`` on
+    the shared plane, materialized transaction blocks on the pickle
+    plane.  Shared by the worker loop and the parent's in-process
+    degradation path, so both produce identical counts by construction.
     """
     counter = make_counter(
         k,
@@ -97,15 +337,20 @@ def _count_block_vector(
         branching=branching,
         leaf_capacity=leaf_capacity,
     )
-    for block in blocks:
-        counter.count_database(block)
+    if packed is None:
+        for block in holdings:
+            counter.count_database(block)
+    else:
+        for lo, hi in holdings:
+            count_packed_into(counter, packed, lo, hi)
     counts = counter.counts()
     return [counts[c] for c in candidates]
 
 
 def _worker_main(
     conn,
-    blocks: List[Sequence[Itemset]],
+    plane: Tuple,
+    holdings: List,
     branching: int,
     leaf_capacity: int,
     kernel: str,
@@ -113,16 +358,28 @@ def _worker_main(
 ) -> None:
     """Worker loop: hold transaction blocks, count pass after pass.
 
+    ``plane`` is ``("pickle",)`` or ``("shared", store_name, slot)``;
+    on the shared plane the worker attaches the packed store by name
+    once (zero transaction bytes cross the pipe, ever) and ``holdings``
+    are ``(lo, hi)`` ranges into it instead of transaction lists.
+
     Request frames (parent → worker):
 
-    * ``("pass", seq, k, candidates)`` — count all held blocks;
-    * ``("adopt", seq, new_blocks, k, candidates)`` — permanently add a
-      dead peer's blocks to the holdings and count *only those* for the
-      current pass (the worker already returned its own counts);
+    * ``("pass", seq, k, payload)`` — count all held blocks;
+    * ``("adopt", seq, new_holdings, k, payload)`` — permanently add a
+      dead peer's holdings and count *only those* for the current pass
+      (the worker already returned its own counts);
     * ``None`` — shut down.
 
-    Reply frames (worker → parent): ``("ok", seq, vector)`` on success
-    or ``("error", seq, message)`` when counting raised — the parent
+    ``payload`` carries the candidates: the pickled list on the pickle
+    plane, or ``(cand_name, num_candidates, counts_name,
+    counts_capacity)`` on the shared plane — the worker reads the
+    candidate segment (one binary decode, no pickling) and writes its
+    vector into its slot of the counts segment.
+
+    Reply frames (worker → parent): ``("ok", seq, vector)`` on the
+    pickle plane / ``("ok", seq, num_written)`` on the shared plane, or
+    ``("error", seq, message)`` when counting raised — the parent
     surfaces the message instead of seeing a silent death.  Every reply
     echoes the request's ``seq``, so the parent can tell a reply to the
     frame it just sent from a late reply to an earlier frame (a slow
@@ -139,18 +396,47 @@ def _worker_main(
                 return pending.pop(index)
         return None
 
+    shared = plane[0] == "shared"
+    packed: Optional[PackedDB] = None
+    slot = 0
+    store_segment: Optional[shared_memory.SharedMemory] = None
+    counts_segment: Optional[shared_memory.SharedMemory] = None
+    counts_name: Optional[str] = None
+    if shared:
+        _, store_name, slot = plane
+        # Attach once; a respawned replacement re-attaches by name
+        # instead of being re-shipped its blocks.  The segment object
+        # must outlive the views cast from its buffer, so it is pinned
+        # here for the worker's lifetime (the OS reclaims the mapping at
+        # exit; the coordinator owns the unlink).
+        store_segment = _attach_segment(store_name)
+        packed = packed_from_buffer(store_segment.buf)
+
     try:
         while True:
             message = conn.recv()
             if message is None:
                 break
             if message[0] == "adopt":
-                _, seq, new_blocks, k, candidates = message
-                blocks.extend(new_blocks)
-                count_blocks: Sequence = new_blocks
+                _, seq, new_holdings, k, payload = message
+                holdings.extend(new_holdings)
+                count_holdings: Sequence = new_holdings
             else:
-                _, seq, k, candidates = message
-                count_blocks = blocks
+                _, seq, k, payload = message
+                count_holdings = holdings
+            if shared:
+                cand_name, _num, cnt_name, cnt_capacity = payload
+                cand_segment = _attach_segment(cand_name)
+                frame = bytes(cand_segment.buf)
+                cand_segment.close()
+                _, candidates = candidates_from_bytes(frame)
+                if cnt_name != counts_name:
+                    if counts_segment is not None:
+                        counts_segment.close()
+                    counts_segment = _attach_segment(cnt_name)
+                    counts_name = cnt_name
+            else:
+                candidates = payload
             kill = take("kill", k)
             if kill is not None and kill.when == "before":
                 os._exit(_KILLED_EXIT)
@@ -159,8 +445,9 @@ def _worker_main(
             try:
                 if take("error", k) is not None:
                     raise RuntimeError(f"injected worker error at pass {k}")
-                vector = _count_block_vector(
-                    count_blocks, k, candidates, kernel, branching, leaf_capacity
+                vector = _count_holdings_vector(
+                    packed, count_holdings, k, candidates, kernel,
+                    branching, leaf_capacity,
                 )
             except Exception as exc:  # surfaced, never swallowed
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
@@ -171,7 +458,14 @@ def _worker_main(
                 time.sleep(delay.delay)
             if corrupt is not None:
                 vector = vector[:-1]
-            conn.send(("ok", seq, vector))
+            if shared:
+                base = 8 * slot * cnt_capacity
+                counts_segment.buf[base:base + 8 * len(vector)] = (
+                    array("q", vector).tobytes()
+                )
+                conn.send(("ok", seq, len(vector)))
+            else:
+                conn.send(("ok", seq, vector))
     except EOFError:
         pass
     finally:
@@ -179,29 +473,38 @@ def _worker_main(
 
 
 class _Slot:
-    """One pool slot: a worker process, its pipe, and the blocks it holds."""
+    """One pool slot: a worker process, its pipe, and its holdings."""
 
-    def __init__(self, process, conn, blocks, events):
+    def __init__(self, process, conn, holdings, events):
         self.process = process
         self.conn = conn
-        self.blocks: List[Sequence[Itemset]] = blocks
+        # Blocks on the pickle plane, (lo, hi) store ranges on the
+        # shared plane; adoption appends a dead peer's holdings either way.
+        self.holdings: List = holdings
         self.events: List[FaultEvent] = events
 
 
 class _WorkerPool:
     """Persistent, fault-tolerant per-``mine()`` pool of counting processes.
 
-    One process per non-empty transaction block.  Under the ``fork``
-    start method the block is inherited through the process image; under
-    ``spawn`` / ``forkserver`` it is pickled exactly once into the
+    One process per non-empty transaction block.  On the shared plane
+    every worker attaches the packed store segment by name — no
+    transaction ever crosses a pipe; on the pickle plane the block is
+    inherited through the fork image or pickled exactly once into the
     child's argument tuple.  Either way, passes after the first ship
-    only candidates.
+    only candidates (one shared binary frame, or P pickled lists).
 
     Args:
+        holdings: per-worker holdings — ``(lo, hi)`` range lists into
+            ``packed`` (shared plane) or transaction block lists
+            (pickle plane).
+        packed: the packed store (shared plane only); the pool writes it
+            into the store segment and keeps this array-backed copy for
+            the in-process recovery rung.
         recv_timeout: per-pass reply deadline in seconds; receives are
             poll-based so no call blocks past it.
         max_retries: respawn attempts per failed worker (beyond these
-            the block is adopted by a survivor or counted in-process).
+            the blocks are adopted by a survivor or counted in-process).
         backoff_base: first-retry backoff; doubles per attempt.
         faults: optional :class:`~repro.faults.FaultSpec` — worker
             events ship to the workers, ``refuse-spawn`` budgets gate
@@ -211,10 +514,12 @@ class _WorkerPool:
     def __init__(
         self,
         context,
-        blocks: Sequence[Sequence[Itemset]],
+        holdings: Sequence[List],
         branching: int,
         leaf_capacity: int,
         kernel: str,
+        data_plane: str = "shared",
+        packed: Optional[PackedDB] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
@@ -224,6 +529,8 @@ class _WorkerPool:
         self._branching = branching
         self._leaf_capacity = leaf_capacity
         self._kernel = kernel
+        self._plane = validate_data_plane(data_plane)
+        self._packed = packed
         self.recv_timeout = recv_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
@@ -235,14 +542,20 @@ class _WorkerPool:
         # _read_reply).
         self._seq = 0
         self._slots: Dict[int, _Slot] = {}
-        self._fallback_blocks: List[Sequence[Itemset]] = []
+        self._fallback_holdings: List = []
+        self._segments: Optional[_SharedSegments] = None
         self.fault_log: List[FaultRecord] = []
+        self.pass_overheads: List[PassOverhead] = []
         try:
-            for wid, block in enumerate(blocks):
+            if self._plane == "shared":
+                if packed is None:
+                    raise ValueError(
+                        "the shared data plane requires a packed store"
+                    )
+                self._segments = _SharedSegments(packed, len(holdings))
+            for wid, holding in enumerate(holdings):
                 events = self._faults.worker_events(wid)
-                # Each slot holds a *list* of blocks: adoption appends a
-                # dead peer's blocks to a survivor's holdings.
-                slot = self._spawn([list(block)], events, gated=False)
+                slot = self._spawn(wid, list(holding), events, gated=False)
                 if slot is None:  # pragma: no cover - spawn failed at startup
                     raise OSError(f"could not start worker {wid}")
                 self._slots[wid] = slot
@@ -262,7 +575,13 @@ class _WorkerPool:
     @property
     def degraded(self) -> bool:
         """True once any block is being counted in-process."""
-        return bool(self._fallback_blocks)
+        return bool(self._fallback_holdings)
+
+    def segment_names(self) -> List[str]:
+        """Names of currently live shared segments (empty on pickle)."""
+        if self._segments is None:
+            return []
+        return list(self._segments._live)
 
     # ------------------------------------------------------------------
     # The pass fan-out
@@ -278,22 +597,30 @@ class _WorkerPool:
         totals = [0] * len(candidates)
         # Snapshot: blocks that fall back *during* this pass are counted
         # by their recovery rung, not double-counted here.
-        fallback_snapshot = list(self._fallback_blocks)
+        fallback_snapshot = list(self._fallback_holdings)
+        overhead = PassOverhead(k=k, num_candidates=len(candidates))
         failures: List[Tuple[int, str]] = []
         pending: Dict[object, Tuple[int, int]] = {}
+        tick = time.perf_counter()
+        payload = self._pass_payload(k, candidates)
         for wid, slot in list(self._slots.items()):
             seq = self._next_seq()
             try:
-                slot.conn.send(("pass", seq, k, candidates))
+                slot.conn.send(("pass", seq, k, payload))
                 pending[slot.conn] = (wid, seq)
             except (BrokenPipeError, OSError, ValueError):
                 failures.append((wid, "died"))
+        overhead.broadcast_s = time.perf_counter() - tick
         deadline = time.monotonic() + self.recv_timeout
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
-            for conn in _connection_wait(list(pending), timeout=remaining):
+            tick = time.perf_counter()
+            ready = _connection_wait(list(pending), timeout=remaining)
+            overhead.wait_s += time.perf_counter() - tick
+            tick = time.perf_counter()
+            for conn in ready:
                 wid, seq = pending[conn]
                 vector, failure = self._read_reply(
                     conn, wid, k, len(candidates), seq
@@ -306,17 +633,19 @@ class _WorkerPool:
                 else:
                     for index, count in enumerate(vector):
                         totals[index] += count
+            overhead.reduce_s += time.perf_counter() - tick
         for wid, _seq in pending.values():
             failures.append((wid, "timeout"))
         # Workers that failed this pass but have not been recovered yet
         # must not serve as adoption targets for each other: a dead one
         # would crash the ask, and a slow-but-alive one would race its
-        # own recovery (its block would end up counted twice).
+        # own recovery (its blocks would end up counted twice).
         unrecovered = [wid for wid, _ in failures]
         for wid, failure in failures:
             unrecovered.remove(wid)
             vector = self._recover(
-                wid, k, candidates, failure, exclude=frozenset(unrecovered)
+                wid, k, candidates, payload, failure,
+                exclude=frozenset(unrecovered),
             )
             for index, count in enumerate(vector):
                 totals[index] += count
@@ -324,7 +653,22 @@ class _WorkerPool:
             vector = self._count_inprocess(fallback_snapshot, k, candidates)
             for index, count in enumerate(vector):
                 totals[index] += count
+        self.pass_overheads.append(overhead)
         return totals
+
+    def _pass_payload(self, k: int, candidates: Sequence[Itemset]):
+        """The per-pass candidate payload, shaped by the data plane.
+
+        Pickle plane: the candidate list itself (pickled per worker by
+        the pipe).  Shared plane: one binary candidate segment written
+        once, plus the counts-region descriptor — the frame then carries
+        only names and sizes.
+        """
+        if self._plane != "shared":
+            return candidates
+        cand_name = self._segments.publish_candidates(k, candidates)
+        counts_name, capacity = self._segments.ensure_counts(len(candidates))
+        return (cand_name, len(candidates), counts_name, capacity)
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -340,6 +684,10 @@ class _WorkerPool:
         reported as ``"stale"``: the caller discards it and keeps
         waiting rather than mistaking it for the current reply — even
         when the payload happens to have the expected length.
+
+        On the shared plane the ok-payload is the number of counts the
+        worker wrote to its slot; a mismatch (e.g. an injected truncated
+        vector) is ``"corrupt"``, exactly as a short pickled list is.
         """
         try:
             frame = conn.recv()
@@ -354,7 +702,13 @@ class _WorkerPool:
             raise WorkerError(
                 f"worker {wid} failed at pass {k}: {payload}"
             )
-        if tag != "ok" or not isinstance(payload, list) or len(payload) != expected:
+        if tag != "ok":
+            return None, "corrupt"
+        if self._plane == "shared":
+            if payload != expected:
+                return None, "corrupt"
+            return self._segments.read_counts(wid, expected), ""
+        if not isinstance(payload, list) or len(payload) != expected:
             return None, "corrupt"
         return payload, ""
 
@@ -367,15 +721,18 @@ class _WorkerPool:
         wid: int,
         k: int,
         candidates: Sequence[Itemset],
+        payload,
         failure: str,
         exclude: frozenset = frozenset(),
     ) -> List[int]:
-        """Recount a failed worker's blocks; reassign them for future passes.
+        """Recount a failed worker's holdings; reassign them for future passes.
 
         Ladder: respawn (with retries + exponential backoff) → adoption
         by a surviving worker → in-process counting.  Whatever rung
         succeeds, the returned vector covers exactly the failed slot's
-        blocks for pass ``k``.
+        holdings for pass ``k``.  On the shared plane a replacement
+        re-attaches the store by name and an adopter receives only
+        ``(lo, hi)`` ranges — recovery ships no transactions either.
 
         ``exclude`` holds worker ids that also failed this pass and are
         still awaiting their own recovery; they are not survivors (their
@@ -387,7 +744,7 @@ class _WorkerPool:
             # at most once per wid and adoption never touches excluded
             # same-pass failures, so the slot is always present.
             return [0] * len(candidates)
-        blocks = slot.blocks
+        holdings = slot.holdings
         # A replacement must not replay the failure that killed its
         # predecessor; it inherits only events for *future* passes.
         future_events = [e for e in slot.events if e.k > k]
@@ -399,11 +756,11 @@ class _WorkerPool:
             if attempt > 0:
                 time.sleep(self.backoff_base * (2 ** (attempt - 1)))
             attempts += 1
-            replacement = self._spawn(blocks, future_events, gated=True)
+            replacement = self._spawn(wid, holdings, future_events, gated=True)
             if replacement is None:
                 continue
             vector = self._ask(
-                replacement, ("pass", k, candidates), wid, k, expected
+                replacement, ("pass", k, payload), wid, k, expected
             )
             if vector is not None:
                 self._slots[wid] = replacement
@@ -418,29 +775,30 @@ class _WorkerPool:
                 continue
             survivor = self._slots[survivor_id]
             vector = self._ask(
-                survivor, ("adopt", blocks, k, candidates), survivor_id, k, expected
+                survivor, ("adopt", holdings, k, payload), survivor_id, k,
+                expected,
             )
             if vector is not None:
-                survivor.blocks.extend(blocks)
+                survivor.holdings.extend(holdings)
                 self.fault_log.append(
                     FaultRecord(k, wid, failure, "adopted", attempts)
                 )
                 return vector
             # The survivor died while adopting.  Its own counts for this
-            # pass were already collected, so its blocks only need to
+            # pass were already collected, so its holdings only need to
             # move in-process for *future* passes.
             del self._slots[survivor_id]
             self._discard(survivor)
-            self._fallback_blocks.extend(survivor.blocks)
+            self._fallback_holdings.extend(survivor.holdings)
             self.fault_log.append(
                 FaultRecord(k, survivor_id, "died", "inprocess", 0)
             )
 
-        self._fallback_blocks.extend(blocks)
+        self._fallback_holdings.extend(holdings)
         self.fault_log.append(
             FaultRecord(k, wid, failure, "inprocess", attempts)
         )
-        return self._count_inprocess(blocks, k, candidates)
+        return self._count_inprocess(holdings, k, candidates)
 
     def _ask(
         self, slot: _Slot, request, wid: int, k: int, expected: int
@@ -467,21 +825,32 @@ class _WorkerPool:
 
     def _spawn(
         self,
-        blocks: List[Sequence[Itemset]],
+        wid: int,
+        holdings: List,
         events: List[FaultEvent],
         gated: bool,
     ) -> Optional[_Slot]:
-        """Start one worker process; ``None`` if spawning is refused/fails."""
+        """Start one worker process; ``None`` if spawning is refused/fails.
+
+        ``wid`` doubles as the worker's count-region slot index on the
+        shared plane, so a respawned replacement writes where its
+        predecessor did.
+        """
         if gated and self._refusals_left > 0:
             self._refusals_left -= 1
             return None
+        if self._plane == "shared":
+            plane = ("shared", self._segments.store_name, wid)
+        else:
+            plane = ("pickle",)
         try:
             parent_conn, child_conn = self._context.Pipe()
             process = self._context.Process(
                 target=_worker_main,
                 args=(
                     child_conn,
-                    blocks,
+                    plane,
+                    holdings,
                     self._branching,
                     self._leaf_capacity,
                     self._kernel,
@@ -493,13 +862,14 @@ class _WorkerPool:
             child_conn.close()
         except OSError:
             return None
-        return _Slot(process, parent_conn, blocks, events)
+        return _Slot(process, parent_conn, holdings, events)
 
     def _count_inprocess(
-        self, blocks: Sequence, k: int, candidates: Sequence[Itemset]
+        self, holdings: Sequence, k: int, candidates: Sequence[Itemset]
     ) -> List[int]:
-        return _count_block_vector(
-            blocks, k, candidates, self._kernel, self._branching,
+        return _count_holdings_vector(
+            self._packed if self._plane == "shared" else None,
+            holdings, k, candidates, self._kernel, self._branching,
             self._leaf_capacity,
         )
 
@@ -511,7 +881,9 @@ class _WorkerPool:
         """Close a slot's pipe and reap its process (terminate if needed).
 
         A declared-failed worker may merely be slow; terminating it
-        prevents a late reply from desynchronizing a later pass.
+        prevents a late reply from desynchronizing a later pass — and,
+        on the shared plane, a late write to a count slot a replacement
+        is about to use.
         """
         try:
             slot.conn.close()
@@ -522,21 +894,25 @@ class _WorkerPool:
         slot.process.join(timeout=10)
 
     def shutdown(self) -> None:
-        """Send shutdown sentinels and reap the worker processes."""
-        for slot in self._slots.values():
-            try:
-                slot.conn.send(None)
-            except (OSError, ValueError, BrokenPipeError):
-                pass
-            finally:
-                slot.conn.close()
-        for slot in self._slots.values():
-            slot.process.join(timeout=10)
-            if slot.process.is_alive():
-                slot.process.terminate()
-                slot.process.join()
-        self._slots = {}
-        self._fallback_blocks = []
+        """Reap the workers, then unlink every shared segment exactly once."""
+        try:
+            for slot in self._slots.values():
+                try:
+                    slot.conn.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                finally:
+                    slot.conn.close()
+            for slot in self._slots.values():
+                slot.process.join(timeout=10)
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join()
+            self._slots = {}
+            self._fallback_holdings = []
+        finally:
+            if self._segments is not None:
+                self._segments.close()
 
     def __enter__(self) -> "_WorkerPool":
         return self
@@ -559,6 +935,12 @@ class NativeCountDistribution:
             fastest where available; ``None`` uses the platform default).
         kernel: per-worker counting kernel, ``"fast"`` (default) or
             ``"reference"``; both yield identical counts.
+        data_plane: ``"shared"`` (default) — packed transactions in a
+            shared-memory store, binary candidate broadcast, count
+            vectors in shared int64 slots; or ``"pickle"`` — everything
+            serialized over the pipes.  Both planes yield identical
+            results; shared removes the coordinator's per-pass
+            (de)serialization cost.
         recv_timeout: seconds a pass waits for worker replies before
             declaring stragglers failed; receives are poll-based, so no
             call blocks indefinitely.
@@ -570,8 +952,11 @@ class NativeCountDistribution:
             string) of injected failures, for chaos testing.
 
     After :meth:`mine`, :attr:`fault_log` holds the
-    :class:`~repro.faults.FaultRecord` recovery log of the run and
-    :attr:`last_pool_size` the number of worker processes spawned.
+    :class:`~repro.faults.FaultRecord` recovery log of the run,
+    :attr:`last_pool_size` the number of worker processes spawned, and
+    :attr:`last_pass_overheads` the per-pass coordinator
+    broadcast/reduce timing decomposition
+    (:class:`PassOverhead`; consumed by ``benchmarks/bench_native.py``).
     """
 
     def __init__(
@@ -583,6 +968,7 @@ class NativeCountDistribution:
         max_k: Optional[int] = None,
         start_method: Optional[str] = None,
         kernel: str = "fast",
+        data_plane: str = "shared",
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
@@ -605,12 +991,14 @@ class NativeCountDistribution:
         self.max_k = max_k
         self.start_method = start_method
         self.kernel = validate_kernel(kernel)
+        self.data_plane = validate_data_plane(data_plane)
         self.recv_timeout = recv_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.faults = FaultSpec.of(faults)
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
+        self.last_pass_overheads: List[PassOverhead] = []
 
     @property
     def num_processors(self) -> int:
@@ -628,6 +1016,7 @@ class NativeCountDistribution:
         )
         self.fault_log = []
         self.last_pool_size = 0
+        self.last_pass_overheads = []
 
         # Pass 1 is a trivial scan; not worth process overhead.
         frequent_prev = self._pass_one(db, min_count, result)
@@ -637,11 +1026,23 @@ class NativeCountDistribution:
         # Clamp to non-empty blocks: partition() pads with empty parts
         # when num_workers exceeds the transaction count, and an empty
         # block would pin an idle process for the whole run.
-        blocks = [
-            list(part.transactions)
-            for part in db.partition(self.num_workers)
-            if len(part) > 0
-        ]
+        packed: Optional[PackedDB] = None
+        if self.data_plane == "shared":
+            # Pack once; workers attach the store segment and hold
+            # (lo, hi) ranges into it.  The array-backed copy stays in
+            # the parent for the in-process recovery rung.
+            packed = db.to_packed()
+            holdings = [
+                [(lo, hi)]
+                for lo, hi in db.partition_bounds(self.num_workers)
+                if hi > lo
+            ]
+        else:
+            holdings = [
+                [list(part.transactions)]
+                for part in db.partition(self.num_workers)
+                if len(part) > 0
+            ]
         context = (
             get_context(self.start_method)
             if self.start_method
@@ -650,10 +1051,12 @@ class NativeCountDistribution:
         k = 2
         with _WorkerPool(
             context,
-            blocks,
+            holdings,
             self.branching,
             self.leaf_capacity,
             self.kernel,
+            data_plane=self.data_plane,
+            packed=packed,
             recv_timeout=self.recv_timeout,
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
@@ -681,6 +1084,7 @@ class NativeCountDistribution:
                 frequent_prev = sorted(frequent_k)
                 k += 1
             self.fault_log = list(pool.fault_log)
+            self.last_pass_overheads = list(pool.pass_overheads)
         return result
 
     def _pass_one(

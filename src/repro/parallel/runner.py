@@ -76,7 +76,8 @@ def make_miner(
             mode; bit-identical counters and simulated timings).
             ``None`` keeps the formulation's default.
         **kwargs: forwarded to the formulation's constructor (e.g.
-            ``switch_threshold`` for HD, ``max_k``, ``charge_io``).
+            ``switch_threshold`` for HD, ``max_k``, ``charge_io``;
+            ``data_plane`` for the native pool's transport).
 
     Raises:
         KeyError: for an unknown algorithm name.

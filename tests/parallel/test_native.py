@@ -1,9 +1,19 @@
 """Tests for the real-multiprocessing CD backend."""
 
+import multiprocessing
+
 import pytest
 
 from repro.core.apriori import Apriori
-from repro.parallel.native import NativeCountDistribution
+from repro.parallel.native import (
+    DATA_PLANES,
+    NativeCountDistribution,
+    validate_data_plane,
+)
+
+
+def _has_start_method(name: str) -> bool:
+    return name in multiprocessing.get_all_start_methods()
 
 
 class TestNativeCountDistribution:
@@ -68,6 +78,62 @@ class TestNativeCountDistribution:
         ).mine(tiny_db)
         serial = Apriori(0.3).mine(tiny_db)
         assert native.frequent == serial.frequent
+
+
+class TestDataPlanes:
+    """Both data planes mine identical results; shared is the default."""
+
+    def test_shared_plane_is_default(self):
+        assert NativeCountDistribution(0.1, 2).data_plane == "shared"
+
+    def test_invalid_data_plane_rejected(self):
+        with pytest.raises(ValueError, match="unknown data plane"):
+            NativeCountDistribution(0.1, 2, data_plane="carrier-pigeon")
+
+    def test_validate_data_plane(self):
+        for plane in DATA_PLANES:
+            assert validate_data_plane(plane) == plane
+        with pytest.raises(ValueError):
+            validate_data_plane("udp")
+
+    @pytest.mark.parametrize("data_plane", DATA_PLANES)
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_planes_match_serial_under_both_start_methods(
+        self, medium_quest_db, data_plane, start_method
+    ):
+        """Acceptance: bit-identical to serial Apriori for every plane x
+        start-method combination (counts included, via ==)."""
+        if not _has_start_method(start_method):
+            pytest.skip(f"{start_method} start method unavailable")
+        serial = Apriori(0.05).mine(medium_quest_db)
+        native = NativeCountDistribution(
+            0.05, 3, data_plane=data_plane, start_method=start_method
+        ).mine(medium_quest_db)
+        assert native.frequent == serial.frequent
+        assert native.min_count == serial.min_count
+
+    @pytest.mark.parametrize("data_plane", DATA_PLANES)
+    def test_planes_agree_across_kernels(self, small_quest_db, data_plane):
+        serial = Apriori(0.02, kernel="reference").mine(small_quest_db)
+        for kernel in ("reference", "fast"):
+            native = NativeCountDistribution(
+                0.02, 2, data_plane=data_plane, kernel=kernel
+            ).mine(small_quest_db)
+            assert native.frequent == serial.frequent
+
+    @pytest.mark.parametrize("data_plane", DATA_PLANES)
+    def test_pass_overheads_recorded(self, tiny_db, data_plane):
+        miner = NativeCountDistribution(0.3, 2, data_plane=data_plane)
+        miner.mine(tiny_db)
+        overheads = miner.last_pass_overheads
+        assert [o.k for o in overheads] == [2, 3]
+        for overhead in overheads:
+            assert overhead.num_candidates > 0
+            assert overhead.broadcast_s >= 0
+            assert overhead.reduce_s >= 0
+            assert overhead.coordinator_s == pytest.approx(
+                overhead.broadcast_s + overhead.reduce_s
+            )
 
 
 class TestPoolClamping:

@@ -3,18 +3,28 @@
 Every test drives :class:`NativeCountDistribution` through the
 deterministic fault-injection layer (:mod:`repro.faults`) and asserts
 the paper's baseline invariant survives the failure: the mined result is
-bit-identical to serial :class:`Apriori`.  The ``timeout`` marks are
-enforced by pytest-timeout in CI, turning any recovery-path hang into a
-fast failure instead of a stalled runner.
+bit-identical to serial :class:`Apriori`.  The whole suite runs once per
+**data plane** (the autouse ``data_plane`` fixture), so every recovery
+scenario is exercised both over pickled pipes and over the shared-memory
+store — and after every test the ``no_leaked_segments`` fixture asserts
+no ``repro-*`` shared segment outlived the run.  The ``timeout`` marks
+are enforced by pytest-timeout in CI, turning any recovery-path hang
+into a fast failure instead of a stalled runner.
 """
 
 import multiprocessing
+from pathlib import Path
 
 import pytest
 
 from repro.core.apriori import Apriori
 from repro.faults import FaultSpec
-from repro.parallel.native import NativeCountDistribution, WorkerError
+from repro.parallel.native import (
+    DATA_PLANES,
+    NativeCountDistribution,
+    WorkerError,
+    _SEGMENT_PREFIX,
+)
 
 # tiny_db at 0.3 support runs passes k = 1, 2, 3 (see conftest); the
 # chaos scenarios below kill workers at every pool pass in turn.
@@ -23,9 +33,47 @@ TINY_POOL_PASSES = (2, 3)
 
 pytestmark = pytest.mark.timeout(120)
 
+_DEV_SHM = Path("/dev/shm")
+
 
 def _has_start_method(name: str) -> bool:
     return name in multiprocessing.get_all_start_methods()
+
+
+def _live_repro_segments() -> set:
+    """Names of this repo's shared segments currently backing /dev/shm."""
+    if not _DEV_SHM.is_dir():  # non-Linux: no observable backing files
+        return set()
+    return {p.name for p in _DEV_SHM.glob(f"{_SEGMENT_PREFIX}*")}
+
+
+@pytest.fixture(params=DATA_PLANES, autouse=True)
+def data_plane(request, monkeypatch):
+    """Run every chaos scenario on both native data planes.
+
+    Tests construct miners directly all over this module; rather than
+    threading a parameter through every call site, the fixture makes the
+    requested plane the constructor default (explicit ``data_plane=``
+    arguments still win).
+    """
+    plane = request.param
+    original = NativeCountDistribution.__init__
+
+    def patched(self, *args, **kwargs):
+        kwargs.setdefault("data_plane", plane)
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(NativeCountDistribution, "__init__", patched)
+    return plane
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Assert every test leaves /dev/shm exactly as it found it."""
+    before = _live_repro_segments()
+    yield
+    leaked = _live_repro_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture(scope="module")
@@ -320,6 +368,7 @@ class TestStaleReplies:
         from repro.parallel.native import _WorkerPool
 
         pool = _WorkerPool.__new__(_WorkerPool)  # protocol check only
+        pool._plane = "pickle"  # frame protocol; no shared segments
         parent, child = Pipe()
         try:
             child.send(("ok", 7, [1, 2, 3]))  # late answer to request 7
@@ -413,6 +462,95 @@ class TestFaultFreeRunsUnchanged:
         result = miner.mine(db)
         assert result.frequent == serial.frequent
         assert miner.fault_log == []
+
+
+class TestSharedSegmentLifecycle:
+    """Shared segments are unlinked exactly once, whatever the exit path.
+
+    The autouse ``no_leaked_segments`` fixture already polices every
+    test in the module; these scenarios additionally pin the abnormal
+    exits the data plane must clean up after — a structured worker error
+    aborting the mine, a full pool collapse into in-process counting,
+    and a double shutdown.
+    """
+
+    def test_clean_run_leaves_no_segments(self, tiny_serial):
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(TINY_SUPPORT, 3, data_plane="shared")
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert not _live_repro_segments()
+
+    def test_worker_error_abort_leaves_no_segments(self, tiny_serial):
+        # WorkerError propagates out of mine() mid-pass — the exception
+        # path through the pool context manager must still unlink.
+        db, _ = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT, 2, data_plane="shared", faults="error@0:k2"
+        )
+        with pytest.raises(WorkerError):
+            miner.mine(db)
+        assert not _live_repro_segments()
+
+    def test_pool_collapse_leaves_no_segments(self, tiny_serial):
+        # Full collapse: every remaining pass runs in-process against
+        # the parent's packed copy, and shutdown still owns the unlink.
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            1,
+            data_plane="shared",
+            faults="kill@0:k2,refuse-spawn:10",
+            max_retries=0,
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].action == "inprocess"
+        assert not _live_repro_segments()
+
+    def test_chaos_at_every_pass_leaves_no_segments(self, tiny_serial):
+        db, serial = tiny_serial
+        for k in TINY_POOL_PASSES:
+            for fault in ("kill", "corrupt"):
+                miner = NativeCountDistribution(
+                    TINY_SUPPORT,
+                    3,
+                    data_plane="shared",
+                    faults=f"{fault}@1:k{k}",
+                    backoff_base=0.01,
+                )
+                result = miner.mine(db)
+                assert result.frequent == serial.frequent
+                assert not _live_repro_segments(), (
+                    f"{fault}@1:k{k} leaked a segment"
+                )
+
+    def test_shutdown_is_idempotent(self, tiny_serial):
+        from multiprocessing import get_context
+
+        from repro.parallel.native import _WorkerPool
+
+        db, _ = tiny_serial
+        packed = db.to_packed()
+        holdings = [[(lo, hi)] for lo, hi in db.partition_bounds(2)]
+        pool = _WorkerPool(
+            get_context(), holdings, 64, 16, "fast",
+            data_plane="shared", packed=packed,
+        )
+        assert pool.segment_names()  # the store segment is live
+        pool.shutdown()
+        assert pool.segment_names() == []
+        pool.shutdown()  # second shutdown is a no-op, not a double unlink
+        assert not _live_repro_segments()
+
+    def test_pickle_plane_creates_no_segments(self, tiny_serial):
+        db, serial = tiny_serial
+        before = _live_repro_segments()
+        miner = NativeCountDistribution(TINY_SUPPORT, 2, data_plane="pickle")
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert _live_repro_segments() == before
 
 
 class TestKnobValidation:

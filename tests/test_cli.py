@@ -165,6 +165,75 @@ class TestNativeMineCommand:
         assert "malformed fault event" in err
 
 
+class TestKernelAndDataPlaneFlags:
+    def test_flag_defaults(self, dat_file):
+        args = build_parser().parse_args(["mine", str(dat_file)])
+        assert args.kernel is None
+        assert args.data_plane is None
+
+    def test_bad_kernel_is_usage_error(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(dat_file), "--kernel", "turbo"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--kernel" in err
+        assert "unknown kernel" in err
+
+    def test_bad_data_plane_is_usage_error(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mine", str(dat_file), "--algorithm", "native",
+                 "--data-plane", "carrier-pigeon"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--data-plane" in err
+        assert "unknown data plane" in err
+
+    def test_data_plane_without_native_is_usage_error(self, dat_file, capsys):
+        # --data-plane picks the native pool's transport; the simulated
+        # formulations have no worker processes for it to configure.
+        for argv in (
+            ["mine", str(dat_file), "--data-plane", "shared"],
+            ["mine", str(dat_file), "--algorithm", "CD",
+             "--data-plane", "pickle"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--data-plane" in capsys.readouterr().err
+
+    def test_serial_mine_with_kernel(self, dat_file, capsys):
+        for kernel in ("reference", "fast"):
+            exit_code = main(
+                ["mine", str(dat_file), "--min-support", "0.3",
+                 "--kernel", kernel]
+            )
+            assert exit_code == 0
+            assert "serial Apriori" in capsys.readouterr().out
+
+    def test_simulated_mine_with_kernel(self, dat_file, capsys):
+        exit_code = main(
+            ["mine", str(dat_file), "--min-support", "0.3",
+             "--algorithm", "CD", "--processors", "2",
+             "--kernel", "fast"]
+        )
+        assert exit_code == 0
+        assert "frequent item-sets" in capsys.readouterr().out
+
+    def test_native_mine_each_plane(self, dat_file, capsys):
+        for plane in ("pickle", "shared"):
+            exit_code = main(
+                ["mine", str(dat_file), "--min-support", "0.3",
+                 "--algorithm", "native", "--processors", "2",
+                 "--data-plane", plane, "--kernel", "reference"]
+            )
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert f"({plane} data plane)" in out
+            assert "frequent item-sets" in out
+
+
 class TestGenerateCommand:
     def test_generates_file(self, tmp_path, capsys):
         out_path = tmp_path / "synthetic.dat"
