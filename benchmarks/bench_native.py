@@ -32,6 +32,7 @@ from benchmarks._util import REPO_ROOT, record_bench_medians
 from repro.data.corpus import t15_i6
 from repro.data.quest import generate
 from repro.parallel.native import DATA_PLANES, NativeCountDistribution
+from repro.parallel.native_idd import NativeIntelligentDistribution
 
 BENCH_NATIVE_JSON = REPO_ROOT / "BENCH_native.json"
 
@@ -115,3 +116,74 @@ def test_data_plane_comparison(db):
             f"shared plane only cut coordinator overhead {ratio_4:.2f}x "
             "at 4 workers (need >= 2x)"
         )
+
+
+def test_cd_vs_idd_partitioning(db):
+    """CD vs IDD on the real pool: candidate memory and bitmap pruning.
+
+    The paper's case for IDD is that partitioning the candidates makes
+    each node's hash tree shrink with P while CD replicates the whole
+    tree everywhere.  This section measures exactly that on the native
+    pool: per worker-count, the largest candidate bin any worker built
+    (``max_bin_candidates``, CD's equals the full candidate set) and the
+    root-bitmap prune rate the partitioning buys, plus the usual
+    wall-clock medians.  Keys land next to the data-plane section in
+    ``BENCH_native.json``.
+    """
+    medians = {}
+    baseline_frequent = None
+    for num_workers in WORKER_COUNTS:
+        walls = []
+        frequent = None
+        for _ in range(ROUNDS):
+            miner = NativeIntelligentDistribution(
+                MIN_SUPPORT, num_workers, max_k=3
+            )
+            start = time.perf_counter()
+            result = miner.mine(db)
+            walls.append(time.perf_counter() - start)
+            if frequent is None:
+                frequent = result.frequent
+            else:
+                assert result.frequent == frequent
+        # Shard sizes and prune rates are deterministic — take them from
+        # the last round's pass-2 record (the largest candidate set).
+        (pass2,) = [o for o in miner.last_pass_overheads if o.k == 2]
+        medians[f"native.idd.w{num_workers}.wall_s"] = statistics.median(
+            walls
+        )
+        medians[f"native.idd.w{num_workers}.max_bin_candidates"] = float(
+            pass2.max_bin_candidates
+        )
+        medians[f"native.idd.w{num_workers}.prune_rate"] = pass2.prune_rate
+        medians[
+            f"native.cd.w{num_workers}.max_bin_candidates"
+        ] = float(pass2.num_candidates)
+        if baseline_frequent is None:
+            baseline_frequent = frequent
+        else:
+            assert frequent == baseline_frequent
+        print(
+            f"\nIDD {num_workers} worker(s): "
+            f"wall {medians[f'native.idd.w{num_workers}.wall_s']:.3f}s; "
+            f"largest bin {pass2.max_bin_candidates}/"
+            f"{pass2.num_candidates} candidates; "
+            f"prune rate {pass2.prune_rate:.2f}"
+        )
+
+    record_bench_medians(medians, path=BENCH_NATIVE_JSON)
+
+    if not TINY:
+        # The paper's memory argument, asserted: the largest shard at 4
+        # workers is at most half the replicated CD tree (bin packing
+        # makes it ~1/4; 2x leaves slack for skewed first items), and
+        # the bitmap prunes most root descents.
+        shrink = (
+            medians["native.cd.w4.max_bin_candidates"]
+            / medians["native.idd.w4.max_bin_candidates"]
+        )
+        assert shrink >= 2.0, (
+            f"IDD's largest bin only {shrink:.2f}x smaller than CD's "
+            "replicated candidate set at 4 workers (need >= 2x)"
+        )
+        assert medians["native.idd.w4.prune_rate"] >= 0.5

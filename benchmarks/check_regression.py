@@ -1,0 +1,125 @@
+"""Fail when a bench JSON regresses against a committed baseline.
+
+The nightly workflow runs the full-size native bench, then compares the
+fresh ``BENCH_native.json`` against the committed one::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json
+
+By default the comparison covers the shared-plane per-pass coordinator
+overhead (``native.shared.*.coord_pass_s``) — the zero-copy data
+plane's headline metric — and fails (exit 1) when any key grows more
+than 25% over the baseline.  ``--prefix`` / ``--suffix`` retarget the
+key selection and ``--threshold`` adjusts the allowed growth, so other
+benches can reuse the checker.
+
+Lower-than-baseline values never fail: improvements are recorded by
+committing the fresh JSON, not by this gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+DEFAULT_PREFIX = "native.shared."
+DEFAULT_SUFFIX = ".coord_pass_s"
+DEFAULT_THRESHOLD = 0.25
+
+
+def _load(path: Path) -> Dict[str, float]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path} must hold a JSON object of medians")
+    return data
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    prefix: str = DEFAULT_PREFIX,
+    suffix: str = DEFAULT_SUFFIX,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Return human-readable regression messages (empty = pass).
+
+    A key present in the baseline but missing from the current run is a
+    failure too — a silently dropped measurement must not read as green.
+    """
+    keys = sorted(
+        k for k in baseline if k.startswith(prefix) and k.endswith(suffix)
+    )
+    if not keys:
+        return [
+            f"baseline has no keys matching {prefix}*{suffix} — "
+            "nothing to check"
+        ]
+    problems: List[str] = []
+    for key in keys:
+        base = baseline[key]
+        if key not in current:
+            problems.append(f"{key}: missing from current run")
+            continue
+        value = current[key]
+        limit = base * (1.0 + threshold)
+        growth = (value - base) / base if base > 0 else 0.0
+        status = "FAIL" if value > limit else "ok"
+        print(
+            f"  {status:>4}  {key}: baseline {base * 1e3:.2f}ms -> "
+            f"current {value * 1e3:.2f}ms ({growth:+.1%}, "
+            f"limit {threshold:+.0%})"
+        )
+        if value > limit:
+            problems.append(
+                f"{key}: {value:.6f}s exceeds baseline {base:.6f}s "
+                f"by {growth:.1%} (threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSON against a committed baseline."
+    )
+    parser.add_argument("baseline", type=Path, help="committed bench JSON")
+    parser.add_argument("current", type=Path, help="freshly produced JSON")
+    parser.add_argument(
+        "--prefix", default=DEFAULT_PREFIX,
+        help=f"key prefix to check (default {DEFAULT_PREFIX!r})",
+    )
+    parser.add_argument(
+        "--suffix", default=DEFAULT_SUFFIX,
+        help=f"key suffix to check (default {DEFAULT_SUFFIX!r})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional growth over baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    problems = compare(
+        _load(args.baseline),
+        _load(args.current),
+        prefix=args.prefix,
+        suffix=args.suffix,
+        threshold=args.threshold,
+    )
+    if problems:
+        print("\nregressions detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,8 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
         default=None,
         help=(
-            "parallel formulation (omit for serial Apriori; 'native' "
-            "runs real worker processes instead of the simulated machine)"
+            "parallel formulation (omit for serial Apriori; the "
+            "'native-cd'/'native-idd'/'native-hd' modes run real worker "
+            "processes instead of the simulated machine; 'native' is an "
+            "alias for 'native-cd')"
         ),
     )
     mine.add_argument("--processors", type=int, default=4)
@@ -128,6 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.add_argument(
+        "--switch-threshold",
+        type=int,
+        default=None,
+        metavar="M",
+        help=(
+            "HD / native-hd only: the paper's m — minimum candidates "
+            "worth one more grid row (default 50000)"
+        ),
+    )
+    mine.add_argument(
         "--fault-spec",
         type=_fault_spec_arg,
         default=None,
@@ -135,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject deterministic failures, e.g. "
             "'kill@0:k2,delay@1:k3:0.5,refuse-spawn:2' — real worker "
-            "failures under --algorithm native, simulated processor "
+            "failures under the native algorithms, simulated processor "
             "failures (kill events) under the other formulations"
         ),
     )
@@ -186,10 +198,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "mine":
-        if args.data_plane is not None and args.algorithm != "native":
+        native = args.algorithm is not None and args.algorithm.startswith(
+            "native"
+        )
+        if args.data_plane is not None and not native:
             parser.error(
-                "--data-plane only applies to --algorithm native "
+                "--data-plane only applies to the native algorithms "
                 "(the simulated formulations have no worker processes)"
+            )
+        if args.switch_threshold is not None and args.algorithm not in (
+            "HD", "native-hd",
+        ):
+            parser.error(
+                "--switch-threshold only applies to --algorithm HD or "
+                "native-hd (the other formulations have no grid to size)"
             )
         return _cmd_mine(args)
     if args.command == "generate":
@@ -213,10 +235,24 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
             print(format_report(result))
             return 0
-    elif args.algorithm == "native":
+    elif args.algorithm.startswith("native"):
         from .parallel.native import NativeCountDistribution
+        from .parallel.native_idd import (
+            NativeHybridDistribution,
+            NativeIntelligentDistribution,
+        )
 
-        miner = NativeCountDistribution(
+        native_classes = {
+            "native": (NativeCountDistribution, "CD"),
+            "native-cd": (NativeCountDistribution, "CD"),
+            "native-idd": (NativeIntelligentDistribution, "IDD"),
+            "native-hd": (NativeHybridDistribution, "HD"),
+        }
+        miner_class, label = native_classes[args.algorithm]
+        extra_kwargs = dict(kernel_kwargs)
+        if args.switch_threshold is not None:
+            extra_kwargs["switch_threshold"] = args.switch_threshold
+        miner = miner_class(
             args.min_support,
             args.processors,
             max_k=args.max_k,
@@ -224,13 +260,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             faults=args.fault_spec,
             data_plane=args.data_plane or "shared",
-            **kernel_kwargs,
+            **extra_kwargs,
         )
         result = miner.mine(db)
         frequent = result.frequent
         num_transactions = result.num_transactions
         print(
-            f"native CD on {miner.last_pool_size or args.processors} worker "
+            f"native {label} on "
+            f"{miner.last_pool_size or args.processors} worker "
             f"processes ({miner.data_plane} data plane): "
             f"{len(frequent)} frequent item-sets"
         )
@@ -246,6 +283,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             print(format_report(result))
             return 0
     else:
+        sim_kwargs = {}
+        if args.switch_threshold is not None:
+            sim_kwargs["switch_threshold"] = args.switch_threshold
         result = mine_parallel(
             args.algorithm,
             db,
@@ -255,6 +295,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             max_k=args.max_k,
             faults=args.fault_spec,
             kernel=args.kernel,
+            **sim_kwargs,
         )
         frequent = result.frequent
         num_transactions = result.num_transactions

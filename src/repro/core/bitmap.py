@@ -58,6 +58,25 @@ class ItemBitmap:
     def __repr__(self) -> str:
         return f"ItemBitmap({sorted(self)!r})"
 
+    @property
+    def bits(self) -> int:
+        """The raw bit-vector integer (bit ``i`` set iff item ``i`` is in)."""
+        return self._bits
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "ItemBitmap":
+        """Rebuild a bitmap from :attr:`bits`.
+
+        The integer form is how the native IDD/HD pool ships ownership
+        bitmaps to workers: one arbitrary-precision int per pass instead
+        of a pickled item list.
+        """
+        if bits < 0:
+            raise ValueError(f"bits must be non-negative, got {bits}")
+        bitmap = cls()
+        bitmap._bits = bits
+        return bitmap
+
     def add(self, item: int) -> None:
         """Set the bit for ``item``."""
         if item < 0:

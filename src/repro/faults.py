@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 __all__ = ["FaultEvent", "FaultSpec", "FaultRecord", "KINDS", "KILL_WHEN"]
 
@@ -125,8 +125,12 @@ class FaultRecord:
             ``"corrupt"`` (malformed / wrong-length reply).
         action: how the block was recovered — ``"respawned"`` (fresh
             replacement process), ``"adopted"`` (a surviving worker took
-            over the block) or ``"inprocess"`` (counted in the parent;
-            the degradation floor).
+            over the block), ``"inprocess"`` (counted in the parent;
+            the degradation floor) or ``"repacked"`` (candidate-
+            partitioned pool only: a worker died while adopting; its own
+            pass counts were already collected, so nothing is recounted
+            — the next pass simply bin-packs the candidate set over the
+            remaining workers).
         attempts: spawn attempts consumed before the action succeeded.
     """
 

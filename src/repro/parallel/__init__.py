@@ -6,7 +6,12 @@ from .data_distribution import DataDistribution
 from .hpa import HashPartitionedApriori, hpa_owner
 from .hybrid import HybridDistribution, choose_grid
 from .intelligent_dd import IntelligentDataDistribution
-from .native import NativeCountDistribution, WorkerError
+from .native import NativeCountDistribution, PassOverhead, WorkerError
+from .native_idd import (
+    NativeHybridDistribution,
+    NativeIntelligentDistribution,
+    NativePartitionedMiner,
+)
 from .rules import ParallelRuleResult, generate_rules_parallel
 from .runner import ALGORITHMS, compare_with_serial, make_miner, mine_parallel
 
@@ -19,7 +24,11 @@ __all__ = [
     "IntelligentDataDistribution",
     "MiningResult",
     "NativeCountDistribution",
+    "NativeHybridDistribution",
+    "NativeIntelligentDistribution",
+    "NativePartitionedMiner",
     "ParallelMiner",
+    "PassOverhead",
     "ParallelPassStats",
     "ParallelRuleResult",
     "WorkerError",

@@ -74,10 +74,9 @@ from __future__ import annotations
 
 import os
 import secrets
-import struct
 import time
 from array import array
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -150,6 +149,20 @@ class PassOverhead:
     i.e. worker compute, not coordinator overhead.  The data-plane
     benchmark (``benchmarks/bench_native.py``) records
     ``broadcast_s + reduce_s`` per plane.
+
+    The candidate-partitioned pool (:mod:`repro.parallel.native_idd`)
+    additionally fills the ring-shift and bitmap-prune categories, which
+    stay zero under plain CD:
+
+    * ``shift_s`` — the slowest worker's total ring-shift counting time
+      for the pass (the critical path through the P shift steps);
+    * ``max_bin_candidates`` — the largest candidate shard any single
+      worker built (CD replicates the whole set, so CD's value would be
+      ``num_candidates``; IDD's shrinks with P — the paper's
+      single-candidate-set-per-node memory argument);
+    * ``prune_checked`` / ``prune_skipped`` — root-level bitmap filter
+      tests and the subset of them that pruned the traversal
+      (:attr:`prune_rate` is the bitmap-prune hit rate).
     """
 
     k: int
@@ -157,11 +170,22 @@ class PassOverhead:
     broadcast_s: float = 0.0
     reduce_s: float = 0.0
     wait_s: float = 0.0
+    shift_s: float = 0.0
+    max_bin_candidates: int = 0
+    prune_checked: int = 0
+    prune_skipped: int = 0
 
     @property
     def coordinator_s(self) -> float:
         """Coordinator overhead for the pass (broadcast + reduce)."""
         return self.broadcast_s + self.reduce_s
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of root-level bitmap tests that pruned (0 if none)."""
+        if self.prune_checked == 0:
+            return 0.0
+        return self.prune_skipped / self.prune_checked
 
 
 # ----------------------------------------------------------------------
@@ -1090,22 +1114,35 @@ class NativeCountDistribution:
     def _pass_one(
         self, db: TransactionDB, min_count: int, result: AprioriResult
     ) -> List[Itemset]:
-        from collections import Counter
+        return serial_pass_one(db, min_count, result)
 
-        item_counts: Counter = Counter()
-        for transaction in db:
-            item_counts.update(transaction)
-        frequent_1 = {
-            (item,): count
-            for item, count in item_counts.items()
-            if count >= min_count
-        }
-        result.frequent.update(frequent_1)
-        result.passes.append(
-            PassTrace(
-                k=1,
-                num_candidates=len(item_counts),
-                num_frequent=len(frequent_1),
-            )
+
+def serial_pass_one(
+    db: TransactionDB, min_count: int, result: AprioriResult
+) -> List[Itemset]:
+    """Serial pass 1 shared by every native miner.
+
+    A single item scan is not worth process overhead, so all native
+    modes (CD, IDD, HD) count it in the parent and only fan out from
+    pass 2.  Appends the pass trace to ``result`` and returns the sorted
+    frequent 1-item-sets.
+    """
+    from collections import Counter
+
+    item_counts: Counter = Counter()
+    for transaction in db:
+        item_counts.update(transaction)
+    frequent_1 = {
+        (item,): count
+        for item, count in item_counts.items()
+        if count >= min_count
+    }
+    result.frequent.update(frequent_1)
+    result.passes.append(
+        PassTrace(
+            k=1,
+            num_candidates=len(item_counts),
+            num_frequent=len(frequent_1),
         )
-        return sorted(frequent_1)
+    )
+    return sorted(frequent_1)

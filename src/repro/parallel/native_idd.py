@@ -1,0 +1,1014 @@
+"""Native multi-process IDD and HD (candidate-partitioned real parallelism).
+
+:mod:`repro.parallel.native` runs Count Distribution on real OS
+processes: every worker holds the *whole* candidate hash tree and counts
+only its own transaction block.  This module is the candidate-partitioned
+complement — the paper's Intelligent Data Distribution (Section III-C)
+and Hybrid Distribution (Section III-D) running on the same persistent,
+fault-tolerant worker pool:
+
+* **Candidates are bin-packed by first item** with the exact partitioner
+  the simulated IDD uses (:func:`repro.core.partition.partition_by_first_item`
+  — greedy LPT over first-item groups), so each worker builds only its
+  owned hash-tree shard and keeps a first-item bitmap for root-level
+  pruning.  Per-worker candidate memory shrinks with the number of
+  partitions — the paper's "single candidate set per node" argument.
+* **Transaction blocks circulate through a shared-memory ring.**  On the
+  shared data plane the database lives in one packed columnar store that
+  every worker attaches by name; a "shift" is nothing but each worker
+  reading its ring predecessor's ``(lo, hi)`` slice of the store for the
+  next step.  No transaction bytes ever cross a pipe — the all-to-all
+  communication of message-passing IDD degenerates to P extra zero-copy
+  reads, which is the honest shared-memory realization of the paper's
+  contention-free shift schedule.  The pickle plane ships the packed
+  store into each worker once at spawn and the ring is walked over that
+  private copy.
+* **HD arranges the P workers in a G x (P/G) grid**: candidates are
+  partitioned over the G rows (each row's shard replicated across its
+  P/G columns), transactions over all P workers, and each worker's ring
+  visits only its own column's blocks — summing the replies reduces the
+  counts along rows, exactly the simulated HD's reduction.  ``G`` is
+  chosen per pass by :func:`repro.parallel.hybrid.choose_grid`; IDD is
+  the fixed G = P corner of the same machinery.
+
+Fault tolerance follows the PR 3 recovery ladder, reshaped for
+partitioned candidates.  A worker owns a *unit* — its candidate bin plus
+its ring of blocks — and any rung recounts that unit from scratch:
+
+1. **respawn** — a replacement re-attaches the store and walks the dead
+   worker's ring itself (the ring is a schedule over shared slices, not
+   a chain of live peers, so recovery never depends on the other
+   workers);
+2. **adopt** — a surviving worker counts the dead worker's unit as an
+   extra job, replying with an inline vector;
+3. **in-process** — the parent counts the unit from its own packed copy.
+
+The pool is rebuilt *logically* every pass: the grid, bins and ring are
+derived from the currently live workers, so after any death the next
+pass automatically re-packs the candidate bins onto the survivors (the
+fault log records a survivor lost mid-adoption as ``"repacked"`` — its
+own counts for the pass were already collected, nothing is recounted).
+With no survivors at all, mining continues fully in-process.  Results
+are bit-identical to serial :class:`~repro.core.apriori.Apriori` under
+every schedule and failure, on both data planes.
+
+Per-pass :class:`~repro.parallel.native.PassOverhead` records fill the
+IDD-specific categories CD leaves at zero: ``shift_s`` (the slowest
+worker's ring time — the critical path), ``max_bin_candidates`` (largest
+shard any worker built) and the ``prune_checked`` / ``prune_skipped``
+bitmap-filter tallies behind :attr:`PassOverhead.prune_rate`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.apriori import AprioriResult, PassTrace, min_support_count
+from ..core.bitmap import ItemBitmap
+from ..core.candidates import generate_candidates
+from ..core.items import Itemset
+from ..core.kernels import count_packed_into, make_counter, validate_kernel
+from ..core.packed import PackedDB, candidates_from_bytes, packed_from_buffer
+from ..core.partition import partition_by_first_item
+from ..core.transaction import TransactionDB
+from ..faults import FaultEvent, FaultRecord, FaultSpec
+from .hybrid import choose_grid
+from .native import (
+    _KILLED_EXIT,
+    PassOverhead,
+    WorkerError,
+    _attach_segment,
+    _connection_wait,
+    _SharedSegments,
+    serial_pass_one,
+    validate_data_plane,
+)
+
+__all__ = [
+    "NativeIntelligentDistribution",
+    "NativeHybridDistribution",
+    "NativePartitionedMiner",
+]
+
+NATIVE_MODES = ("idd", "hd")
+
+
+class _TallyFilter:
+    """A root filter that counts its own membership tests.
+
+    Wraps the owned-first-items :class:`~repro.core.bitmap.ItemBitmap`
+    so the worker can report how many root-level tests the kernels made
+    (``checked``) and how many pruned the traversal (``skipped``) — the
+    numbers behind :attr:`PassOverhead.prune_rate`.
+    """
+
+    __slots__ = ("_bitmap", "checked", "skipped")
+
+    def __init__(self, bitmap: ItemBitmap):
+        self._bitmap = bitmap
+        self.checked = 0
+        self.skipped = 0
+
+    def __contains__(self, item: int) -> bool:
+        self.checked += 1
+        if item in self._bitmap:
+            return True
+        self.skipped += 1
+        return False
+
+
+def _count_shard(
+    packed: PackedDB,
+    candidates: Sequence[Itemset],
+    owned_bits: int,
+    ring: Sequence[Tuple[int, int]],
+    k: int,
+    kernel: str,
+    branching: int,
+    leaf_capacity: int,
+    kill_after: Optional[int] = None,
+) -> Tuple[List[int], float, int, int]:
+    """Count one worker's candidate shard over its ring of store slices.
+
+    The shard is rebuilt from the full candidate list and the ownership
+    bitmap (both sides select ``c[0] in bitmap`` over the same sorted
+    list, so worker and coordinator agree on shard order without ever
+    shipping the shard itself).  Returns ``(vector, shift_s, checked,
+    skipped)`` — the counts in shard order, the total ring-walk seconds,
+    and the root-filter tallies.
+
+    ``kill_after`` is the fault-injection hook: die (``os._exit``) after
+    that many completed ring steps — a genuine mid-ring death, with the
+    count vector never published anywhere.
+    """
+    bitmap = ItemBitmap.from_bits(owned_bits)
+    owned = [c for c in candidates if c[0] in bitmap]
+    if not owned:
+        # An empty bin still honours an injected mid-ring kill so fault
+        # schedules stay deterministic regardless of bin packing.
+        if kill_after is not None:
+            os._exit(_KILLED_EXIT)
+        return [], 0.0, 0, 0
+    tally = _TallyFilter(bitmap)
+    counter = make_counter(
+        k,
+        owned,
+        kernel=kernel,
+        branching=branching,
+        leaf_capacity=leaf_capacity,
+        needs_root_filter=True,
+    )
+    shift_s = 0.0
+    steps = 0
+    for lo, hi in ring:
+        tick = time.perf_counter()
+        count_packed_into(counter, packed, lo, hi, root_filter=tally)
+        shift_s += time.perf_counter() - tick
+        steps += 1
+        if kill_after is not None and steps >= kill_after:
+            os._exit(_KILLED_EXIT)
+    counts = counter.counts()
+    vector = [counts[c] for c in owned]
+    return vector, shift_s, tally.checked, tally.skipped
+
+
+def _worker_main(
+    conn,
+    plane: Tuple,
+    branching: int,
+    leaf_capacity: int,
+    kernel: str,
+    fault_events: Sequence[FaultEvent] = (),
+) -> None:
+    """Partitioned worker loop: build a shard, walk a ring, pass after pass.
+
+    ``plane`` is ``("shared", store_name, slot)`` — attach the packed
+    store by name, write pass vectors into counts slot ``slot`` — or
+    ``("pickle", packed_db, slot)`` — the store arrived once in the
+    spawn arguments and vectors go back inline.
+
+    Request frames (parent -> worker):
+
+    * ``("pass", seq, k, payload)`` — count this worker's own unit;
+    * ``("extra", seq, k, payload)`` — count a dead peer's unit on its
+      behalf (recovery adoption); the reply always carries the vector
+      inline, so it cannot collide with this worker's own count slot;
+    * ``None`` — shut down.
+
+    ``payload`` is ``(cand_name, num_candidates, counts_name,
+    counts_capacity, owned_bits, ring)`` on the shared plane (candidates
+    read from the shared binary frame) or ``(candidates, owned_bits,
+    ring)`` on the pickle plane.  ``ring`` is the ordered ``(lo, hi)``
+    schedule of store slices to walk.
+
+    Replies echo the request ``seq``: ``("ok", seq, (body, shift_s,
+    checked, skipped))`` where ``body`` is the number of counts written
+    to the shared slot (shared-plane ``"pass"``) or the vector itself
+    (everything else), or ``("error", seq, message)`` when counting
+    raised.
+    """
+    pending = list(fault_events)
+
+    def take(kind: str, k: int) -> Optional[FaultEvent]:
+        for index, event in enumerate(pending):
+            if event.kind == kind and event.k == k:
+                return pending.pop(index)
+        return None
+
+    shared = plane[0] == "shared"
+    slot = plane[2]
+    store_segment = None
+    if shared:
+        store_segment = _attach_segment(plane[1])
+        packed = packed_from_buffer(store_segment.buf)
+    else:
+        packed = plane[1]
+    counts_segment = None
+    counts_name: Optional[str] = None
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            tag, seq, k, payload = message
+            if shared:
+                (
+                    cand_name, _num, cnt_name, cnt_capacity,
+                    owned_bits, ring,
+                ) = payload
+                cand_segment = _attach_segment(cand_name)
+                frame = bytes(cand_segment.buf)
+                cand_segment.close()
+                _, candidates = candidates_from_bytes(frame)
+                if cnt_name != counts_name:
+                    if counts_segment is not None:
+                        counts_segment.close()
+                    counts_segment = _attach_segment(cnt_name)
+                    counts_name = cnt_name
+            else:
+                candidates, owned_bits, ring = payload
+            kill = take("kill", k)
+            if kill is not None and kill.when == "before":
+                os._exit(_KILLED_EXIT)
+            # A "mid" kill dies mid-ring: after roughly half the shift
+            # steps, before any count is published.
+            kill_after = max(1, len(ring) // 2) if kill is not None else None
+            delay = take("delay", k)
+            corrupt = take("corrupt", k)
+            try:
+                if take("error", k) is not None:
+                    raise RuntimeError(f"injected worker error at pass {k}")
+                vector, shift_s, checked, skipped = _count_shard(
+                    packed, candidates, owned_bits, ring, k,
+                    kernel, branching, leaf_capacity, kill_after,
+                )
+            except Exception as exc:  # surfaced, never swallowed
+                conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+                continue
+            if delay is not None:
+                time.sleep(delay.delay)
+            if corrupt is not None:
+                vector = vector[:-1]
+            if shared and tag == "pass":
+                base = 8 * slot * cnt_capacity
+                counts_segment.buf[base:base + 8 * len(vector)] = (
+                    array("q", vector).tobytes()
+                )
+                body: object = len(vector)
+            else:
+                body = vector
+            conn.send(("ok", seq, (body, shift_s, checked, skipped)))
+    except EOFError:
+        pass
+    finally:
+        conn.close()
+        # Release the store views before the segment objects are
+        # finalized: SharedMemory.close() raises BufferError while
+        # exported memoryviews (the PackedDB's buffers) are alive, and
+        # interpreter-shutdown finalization order is not guaranteed to
+        # free them first.
+        packed = None
+        if counts_segment is not None:
+            counts_segment.close()
+        if store_segment is not None:
+            store_segment.close()
+
+
+def _even_bounds(num_transactions: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_transactions)`` into ``parts`` contiguous ranges."""
+    base, extra = divmod(num_transactions, parts)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """One worker's assignment for one pass: a bin, a row, a ring.
+
+    ``row`` indexes the candidate partition (grid row), ``bits`` is the
+    owned-first-items bitmap as a raw integer (the wire form), and
+    ``ring`` is the ordered ``(lo, hi)`` schedule of store slices the
+    worker walks — its own block first, then each ring predecessor's.
+    """
+
+    row: int
+    bits: int
+    ring: Tuple[Tuple[int, int], ...]
+
+
+class _Slot:
+    """One pool slot: a worker process, its pipe, its fault events."""
+
+    def __init__(self, process, conn, events):
+        self.process = process
+        self.conn = conn
+        self.events: List[FaultEvent] = events
+
+
+class _PartitionedPool:
+    """Persistent fault-tolerant pool counting candidate-partitioned passes.
+
+    Unlike the CD pool, workers hold no per-worker transaction state at
+    all: every worker can reach the whole packed store (shared plane: by
+    segment name; pickle plane: its spawn-time copy), and each pass
+    hands it a fresh :class:`_Unit`.  That statelessness is what makes
+    the recovery ladder simple — any worker, replacement, or the parent
+    can recount any unit — and is why the next pass can re-pack bins
+    over however many workers remain.
+    """
+
+    def __init__(
+        self,
+        context,
+        num_workers: int,
+        packed: PackedDB,
+        num_transactions: int,
+        branching: int,
+        leaf_capacity: int,
+        kernel: str,
+        mode: str = "idd",
+        switch_threshold: int = 50_000,
+        refine_threshold: Optional[int] = None,
+        data_plane: str = "shared",
+        recv_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        faults: Optional[FaultSpec] = None,
+    ):
+        self._context = context
+        self._packed = packed
+        self._num_transactions = num_transactions
+        self._branching = branching
+        self._leaf_capacity = leaf_capacity
+        self._kernel = kernel
+        self._mode = mode
+        self._switch_threshold = switch_threshold
+        self._refine_threshold = refine_threshold
+        self._plane = validate_data_plane(data_plane)
+        self.recv_timeout = recv_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self._faults = faults or FaultSpec()
+        self._refusals_left = self._faults.refusals()
+        self._seq = 0
+        self._slots: Dict[int, _Slot] = {}
+        self._segments: Optional[_SharedSegments] = None
+        self.fault_log: List[FaultRecord] = []
+        self.pass_overheads: List[PassOverhead] = []
+        try:
+            if self._plane == "shared":
+                self._segments = _SharedSegments(packed, num_workers)
+            for wid in range(num_workers):
+                events = self._faults.worker_events(wid)
+                slot = self._spawn(wid, events, gated=False)
+                if slot is None:  # pragma: no cover - spawn failed at startup
+                    raise OSError(f"could not start worker {wid}")
+                self._slots[wid] = slot
+        except Exception:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        """Live worker processes."""
+        return len(self._slots)
+
+    def segment_names(self) -> List[str]:
+        """Names of currently live shared segments (empty on pickle)."""
+        if self._segments is None:
+            return []
+        return list(self._segments._live)
+
+    # ------------------------------------------------------------------
+    # Pass planning
+    # ------------------------------------------------------------------
+
+    def _plan(
+        self, candidates: Sequence[Itemset]
+    ) -> Tuple[Dict[int, _Unit], List[List[int]], int]:
+        """Derive this pass's grid, bins and rings from the live workers.
+
+        Returns ``(units, owned_idx, rows)`` where ``units`` maps worker
+        id to its :class:`_Unit`, ``owned_idx[row]`` lists the indices
+        into ``candidates`` of row ``row``'s shard (the coordinator's
+        scatter map for the reduce), and ``rows`` is G.  Recomputed
+        every pass, so candidate bins automatically re-pack over
+        whatever workers survived earlier passes.
+        """
+        wids = sorted(self._slots)
+        p_live = len(wids)
+        if self._mode == "idd":
+            rows = p_live
+        else:
+            rows = choose_grid(
+                len(candidates), self._switch_threshold, p_live
+            )
+        cols = p_live // rows
+        partition = partition_by_first_item(
+            candidates, rows, refine_threshold=self._refine_threshold
+        )
+        index = {candidate: i for i, candidate in enumerate(candidates)}
+        owned_idx = [
+            [index[candidate] for candidate in assignment]
+            for assignment in partition.assignments
+        ]
+        bounds = _even_bounds(self._num_transactions, p_live)
+        units: Dict[int, _Unit] = {}
+        for position, wid in enumerate(wids):
+            row, col = divmod(position, cols)
+            # Shift step s reads the block of the worker s ring-places
+            # up the same grid column; after G steps the column's blocks
+            # have each been walked exactly once.
+            ring = tuple(
+                bounds[((row - step) % rows) * cols + col]
+                for step in range(rows)
+            )
+            units[wid] = _Unit(
+                row=row, bits=partition.filters[row].bits, ring=ring
+            )
+        return units, owned_idx, rows
+
+    def _pass_common(self, k: int, candidates: Sequence[Itemset]):
+        """The plane-shaped part of the payload every worker shares."""
+        if self._plane != "shared":
+            return None
+        cand_name = self._segments.publish_candidates(k, candidates)
+        counts_name, capacity = self._segments.ensure_counts(len(candidates))
+        return (cand_name, len(candidates), counts_name, capacity)
+
+    def _payload(self, common, candidates: Sequence[Itemset], unit: _Unit):
+        if self._plane == "shared":
+            return common + (unit.bits, unit.ring)
+        return (list(candidates), unit.bits, unit.ring)
+
+    # ------------------------------------------------------------------
+    # The pass fan-out
+    # ------------------------------------------------------------------
+
+    def count_pass(self, k: int, candidates: Sequence[Itemset]) -> List[int]:
+        """Fan one partitioned pass out; return the reduced count vector.
+
+        Summing each row's replicas implements HD's along-the-row count
+        reduction; rows are disjoint, so the totals cover every
+        candidate exactly once.  Failed workers are recovered before
+        returning, so they also cover every transaction exactly once.
+        """
+        totals = [0] * len(candidates)
+        overhead = PassOverhead(k=k, num_candidates=len(candidates))
+        if not self._slots:
+            # The whole pool is gone: degrade to in-process mining.
+            tick = time.perf_counter()
+            vector = self._count_all(k, candidates)
+            for index, count in enumerate(vector):
+                totals[index] += count
+            overhead.reduce_s = time.perf_counter() - tick
+            overhead.max_bin_candidates = len(candidates)
+            self.pass_overheads.append(overhead)
+            return totals
+        units, owned_idx, _rows = self._plan(candidates)
+        overhead.max_bin_candidates = max(
+            (len(idx) for idx in owned_idx), default=0
+        )
+        failures: List[Tuple[int, str]] = []
+        pending: Dict[object, Tuple[int, int]] = {}
+        tick = time.perf_counter()
+        common = self._pass_common(k, candidates)
+        for wid, slot in list(self._slots.items()):
+            seq = self._next_seq()
+            try:
+                slot.conn.send(
+                    ("pass", seq, k, self._payload(common, candidates,
+                                                   units[wid]))
+                )
+                pending[slot.conn] = (wid, seq)
+            except (BrokenPipeError, OSError, ValueError):
+                failures.append((wid, "died"))
+        overhead.broadcast_s = time.perf_counter() - tick
+        deadline = time.monotonic() + self.recv_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            tick = time.perf_counter()
+            ready = _connection_wait(list(pending), timeout=remaining)
+            overhead.wait_s += time.perf_counter() - tick
+            tick = time.perf_counter()
+            for conn in ready:
+                wid, seq = pending[conn]
+                expected = len(owned_idx[units[wid].row])
+                reply, failure = self._read_reply(
+                    conn, wid, k, expected, seq,
+                    inline=self._plane != "shared",
+                )
+                if failure == "stale":
+                    continue  # keep waiting for the current reply
+                del pending[conn]
+                if reply is None:
+                    failures.append((wid, failure))
+                    continue
+                vector, shift_s, checked, skipped = reply
+                _scatter(totals, owned_idx[units[wid].row], vector)
+                overhead.shift_s = max(overhead.shift_s, shift_s)
+                overhead.prune_checked += checked
+                overhead.prune_skipped += skipped
+            overhead.reduce_s += time.perf_counter() - tick
+        for wid, _seq in pending.values():
+            failures.append((wid, "timeout"))
+        # Same-pass failures must not adopt each other's units (a dead
+        # one would crash the ask; a slow one would race its recovery).
+        unrecovered = [wid for wid, _ in failures]
+        for wid, failure in failures:
+            unrecovered.remove(wid)
+            unit = units[wid]
+            vector = self._recover(
+                wid, k, candidates, common, unit,
+                len(owned_idx[unit.row]), failure,
+                exclude=frozenset(unrecovered),
+            )
+            _scatter(totals, owned_idx[unit.row], vector)
+        self.pass_overheads.append(overhead)
+        return totals
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _read_reply(
+        self, conn, wid: int, k: int, expected: int, seq: int, inline: bool
+    ) -> Tuple[Optional[Tuple[List[int], float, int, int]], str]:
+        """Read one reply frame; ``(reply, "")`` or ``(None, failure)``.
+
+        ``inline`` selects where the vector lives: in the frame itself
+        (pickle plane, and every adoption reply) or in the worker's
+        shared count slot, where the frame carries only the write
+        length.  A mismatched length is ``"corrupt"`` either way; a
+        mismatched sequence number is a ``"stale"`` reply to an earlier
+        request and is discarded by the caller.
+        """
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            return None, "died"
+        if not (isinstance(frame, tuple) and len(frame) == 3):
+            return None, "corrupt"
+        tag, frame_seq, payload = frame
+        if frame_seq != seq:
+            return None, "stale"
+        if tag == "error":
+            raise WorkerError(f"worker {wid} failed at pass {k}: {payload}")
+        if tag != "ok":
+            return None, "corrupt"
+        if not (isinstance(payload, tuple) and len(payload) == 4):
+            return None, "corrupt"
+        body, shift_s, checked, skipped = payload
+        if inline:
+            if not isinstance(body, list) or len(body) != expected:
+                return None, "corrupt"
+            vector = body
+        else:
+            if body != expected:
+                return None, "corrupt"
+            vector = self._segments.read_counts(wid, expected)
+        return (vector, shift_s, checked, skipped), ""
+
+    # ------------------------------------------------------------------
+    # Recovery ladder
+    # ------------------------------------------------------------------
+
+    def _recover(
+        self,
+        wid: int,
+        k: int,
+        candidates: Sequence[Itemset],
+        common,
+        unit: _Unit,
+        expected: int,
+        failure: str,
+        exclude: frozenset = frozenset(),
+    ) -> List[int]:
+        """Recount a failed worker's unit; shrink the pool for future passes.
+
+        Ladder: respawn (bounded retries, exponential backoff) ->
+        adoption by a survivor -> in-process counting.  Because a unit
+        is a schedule over shared store slices rather than private
+        state, every rung recounts it from scratch without touching any
+        other worker — and whichever rung ends with a smaller pool, the
+        next pass's :meth:`_plan` re-packs the candidate bins over the
+        survivors.
+        """
+        slot = self._slots.pop(wid, None)
+        if slot is None:  # pragma: no cover - defensive; _recover runs
+            # at most once per wid and excluded same-pass failures are
+            # never asked to adopt, so the slot is always present.
+            return [0] * expected
+        # A replacement must not replay the failure that killed its
+        # predecessor; it inherits only events for *future* passes.
+        future_events = [e for e in slot.events if e.k > k]
+        self._discard(slot)
+        payload = self._payload(common, candidates, unit)
+
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                time.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            attempts += 1
+            replacement = self._spawn(wid, future_events, gated=True)
+            if replacement is None:
+                continue
+            reply = self._ask(
+                replacement, ("pass", k, payload), wid, k, expected,
+                inline=self._plane != "shared",
+            )
+            if reply is not None:
+                self._slots[wid] = replacement
+                self.fault_log.append(
+                    FaultRecord(k, wid, failure, "respawned", attempts)
+                )
+                return reply[0]
+            self._discard(replacement)
+
+        for survivor_id in list(self._slots):
+            if survivor_id in exclude:
+                continue
+            survivor = self._slots[survivor_id]
+            reply = self._ask(
+                survivor, ("extra", k, payload), survivor_id, k, expected,
+                inline=True,
+            )
+            if reply is not None:
+                self.fault_log.append(
+                    FaultRecord(k, wid, failure, "adopted", attempts)
+                )
+                return reply[0]
+            # The survivor died while adopting.  Its own counts for this
+            # pass were already collected and its unit holds no private
+            # state, so nothing is recounted — it is dropped and the
+            # next pass re-packs the bins over the remaining workers.
+            del self._slots[survivor_id]
+            self._discard(survivor)
+            self.fault_log.append(
+                FaultRecord(k, survivor_id, "died", "repacked", 0)
+            )
+
+        self.fault_log.append(
+            FaultRecord(k, wid, failure, "inprocess", attempts)
+        )
+        return self._count_unit(k, candidates, unit)
+
+    def _ask(
+        self, slot: _Slot, request, wid: int, k: int, expected: int,
+        inline: bool,
+    ) -> Optional[Tuple[List[int], float, int, int]]:
+        """Send one request to one slot; poll-bounded reply or ``None``."""
+        seq = self._next_seq()
+        try:
+            slot.conn.send((request[0], seq) + tuple(request[1:]))
+        except (BrokenPipeError, OSError, ValueError):
+            return None
+        deadline = time.monotonic() + self.recv_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not slot.conn.poll(remaining):
+                return None
+            reply, failure = self._read_reply(
+                slot.conn, wid, k, expected, seq, inline
+            )
+            if failure != "stale":
+                return reply
+
+    def _spawn(
+        self, wid: int, events: List[FaultEvent], gated: bool
+    ) -> Optional[_Slot]:
+        """Start one worker process; ``None`` if spawning is refused/fails.
+
+        ``wid`` doubles as the worker's count-region slot index on the
+        shared plane, so a respawned replacement writes where its
+        predecessor did.
+        """
+        if gated and self._refusals_left > 0:
+            self._refusals_left -= 1
+            return None
+        if self._plane == "shared":
+            plane = ("shared", self._segments.store_name, wid)
+        else:
+            plane = ("pickle", self._packed, wid)
+        try:
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    plane,
+                    self._branching,
+                    self._leaf_capacity,
+                    self._kernel,
+                    events,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+        except OSError:
+            return None
+        return _Slot(process, parent_conn, events)
+
+    # ------------------------------------------------------------------
+    # In-process counting (degradation floor)
+    # ------------------------------------------------------------------
+
+    def _count_unit(
+        self, k: int, candidates: Sequence[Itemset], unit: _Unit
+    ) -> List[int]:
+        """Count one unit in the parent — the ladder's bottom rung.
+
+        The root filter is a pruning optimization, not a correctness
+        requirement, so the floor skips it; counts are bit-identical.
+        """
+        bitmap = ItemBitmap.from_bits(unit.bits)
+        owned = [c for c in candidates if c[0] in bitmap]
+        if not owned:
+            return []
+        counter = make_counter(
+            k, owned, kernel=self._kernel, branching=self._branching,
+            leaf_capacity=self._leaf_capacity, needs_root_filter=True,
+        )
+        for lo, hi in unit.ring:
+            count_packed_into(counter, self._packed, lo, hi)
+        counts = counter.counts()
+        return [counts[c] for c in owned]
+
+    def _count_all(self, k: int, candidates: Sequence[Itemset]) -> List[int]:
+        """Count a whole pass in the parent (the pool fully collapsed)."""
+        counter = make_counter(
+            k, candidates, kernel=self._kernel, branching=self._branching,
+            leaf_capacity=self._leaf_capacity,
+        )
+        count_packed_into(counter, self._packed, 0, self._num_transactions)
+        counts = counter.counts()
+        return [counts[c] for c in candidates]
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def _discard(self, slot: _Slot) -> None:
+        """Close a slot's pipe and reap its process (terminate if needed)."""
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join(timeout=10)
+
+    def shutdown(self) -> None:
+        """Reap the workers, then unlink every shared segment exactly once."""
+        try:
+            for slot in self._slots.values():
+                try:
+                    slot.conn.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                finally:
+                    slot.conn.close()
+            for slot in self._slots.values():
+                slot.process.join(timeout=10)
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join()
+            self._slots = {}
+        finally:
+            if self._segments is not None:
+                self._segments.close()
+
+    def __enter__(self) -> "_PartitionedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _scatter(totals: List[int], indices: Sequence[int],
+             vector: Sequence[int]) -> None:
+    """Add a shard-order vector into the candidate-order totals."""
+    for j, index in enumerate(indices):
+        totals[index] += vector[j]
+
+
+class NativePartitionedMiner:
+    """Multi-process candidate-partitioned miner (IDD/HD common driver).
+
+    Use the :class:`NativeIntelligentDistribution` (G = P) or
+    :class:`NativeHybridDistribution` (G chosen per pass) subclass; the
+    ``mode`` class attribute is the only difference.
+
+    Args:
+        min_support: fractional minimum support in (0, 1].
+        num_workers: OS processes P (clamped to the transaction count so
+            every worker owns a non-empty block).
+        branching / leaf_capacity: hash tree geometry.
+        max_k: optional pass cap.
+        start_method: multiprocessing start method (``None`` = platform
+            default).
+        kernel: per-worker counting kernel, ``"fast"`` or
+            ``"reference"``; both yield identical counts.
+        data_plane: ``"shared"`` (default; ring shifts are zero-copy
+            reads of the shared packed store) or ``"pickle"`` (the store
+            ships into each worker once at spawn).
+        switch_threshold: HD's ``m`` — minimum candidates worth one more
+            grid row (ignored in IDD mode, where G is always P).
+        refine_threshold: second-item refinement threshold for the bin
+            packer (``None`` packs on first items only).
+        recv_timeout / max_retries / backoff_base: recovery-ladder knobs,
+            as in :class:`~repro.parallel.native.NativeCountDistribution`.
+        faults: optional :class:`~repro.faults.FaultSpec` (or spec
+            string) of injected failures, for chaos testing.
+
+    After :meth:`mine`, :attr:`fault_log`, :attr:`last_pool_size` and
+    :attr:`last_pass_overheads` mirror the CD miner's introspection
+    surface (with the IDD-specific :class:`PassOverhead` fields filled).
+    """
+
+    mode = "idd"
+
+    def __init__(
+        self,
+        min_support: float,
+        num_workers: int,
+        branching: int = 64,
+        leaf_capacity: int = 16,
+        max_k: Optional[int] = None,
+        start_method: Optional[str] = None,
+        kernel: str = "fast",
+        data_plane: str = "shared",
+        switch_threshold: int = 50_000,
+        refine_threshold: Optional[int] = None,
+        recv_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        faults: Optional[FaultSpec] = None,
+    ):
+        if self.mode not in NATIVE_MODES:
+            known = ", ".join(repr(m) for m in NATIVE_MODES)
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected one of: {known}"
+            )
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_k is not None and max_k < 1:
+            raise ValueError(f"max_k must be >= 1, got {max_k}")
+        if switch_threshold <= 0:
+            raise ValueError(
+                f"switch_threshold must be positive, got {switch_threshold}"
+            )
+        if recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be > 0, got {recv_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {backoff_base}")
+        self.min_support = min_support
+        self.num_workers = num_workers
+        self.branching = branching
+        self.leaf_capacity = leaf_capacity
+        self.max_k = max_k
+        self.start_method = start_method
+        self.kernel = validate_kernel(kernel)
+        self.data_plane = validate_data_plane(data_plane)
+        self.switch_threshold = switch_threshold
+        self.refine_threshold = refine_threshold
+        self.recv_timeout = recv_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.faults = FaultSpec.of(faults)
+        self.fault_log: List[FaultRecord] = []
+        self.last_pool_size = 0
+        self.last_pass_overheads: List[PassOverhead] = []
+
+    @property
+    def num_processors(self) -> int:
+        """Alias for ``num_workers`` (runner-facade compatibility)."""
+        return self.num_workers
+
+    def mine(self, db: TransactionDB) -> AprioriResult:
+        """Mine ``db`` with candidate-partitioned worker processes."""
+        min_count = min_support_count(self.min_support, max(1, len(db)))
+        result = AprioriResult(
+            frequent={},
+            min_support=self.min_support,
+            min_count=min_count,
+            num_transactions=len(db),
+        )
+        self.fault_log = []
+        self.last_pool_size = 0
+        self.last_pass_overheads = []
+
+        frequent_prev = serial_pass_one(db, min_count, result)
+        if not frequent_prev:
+            return result
+
+        # Pack once; on the shared plane workers attach the store
+        # segment, on the pickle plane each worker receives this copy at
+        # spawn.  The parent keeps it either way for the in-process
+        # recovery rung.
+        packed = db.to_packed()
+        num_workers = max(1, min(self.num_workers, len(db)))
+        context = (
+            get_context(self.start_method)
+            if self.start_method
+            else get_context()
+        )
+        k = 2
+        with _PartitionedPool(
+            context,
+            num_workers,
+            packed,
+            len(db),
+            self.branching,
+            self.leaf_capacity,
+            self.kernel,
+            mode=self.mode,
+            switch_threshold=self.switch_threshold,
+            refine_threshold=self.refine_threshold,
+            data_plane=self.data_plane,
+            recv_timeout=self.recv_timeout,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            faults=self.faults,
+        ) as pool:
+            self.last_pool_size = pool.num_workers
+            while frequent_prev and (self.max_k is None or k <= self.max_k):
+                candidates = generate_candidates(frequent_prev)
+                if not candidates:
+                    break
+                totals = pool.count_pass(k, candidates)
+                frequent_k = {
+                    candidates[i]: totals[i]
+                    for i in range(len(candidates))
+                    if totals[i] >= min_count
+                }
+                result.frequent.update(frequent_k)
+                result.passes.append(
+                    PassTrace(
+                        k=k,
+                        num_candidates=len(candidates),
+                        num_frequent=len(frequent_k),
+                    )
+                )
+                frequent_prev = sorted(frequent_k)
+                k += 1
+            self.fault_log = list(pool.fault_log)
+            self.last_pass_overheads = list(pool.pass_overheads)
+        return result
+
+
+class NativeIntelligentDistribution(NativePartitionedMiner):
+    """Native IDD: every worker owns a distinct candidate bin (G = P)."""
+
+    mode = "idd"
+
+
+class NativeHybridDistribution(NativePartitionedMiner):
+    """Native HD: a G x (P/G) grid, with G chosen per pass.
+
+    ``choose_grid`` degenerates to G = 1 (pure CD behaviour: one bin,
+    every worker holds it) for small candidate sets and to G = P (pure
+    IDD) for huge ones, so HD interpolates between the two native
+    formulations exactly as the simulated HD does between theirs.
+    """
+
+    mode = "hd"

@@ -21,25 +21,51 @@ from .hpa import HashPartitionedApriori
 from .hybrid import HybridDistribution
 from .intelligent_dd import IntelligentDataDistribution
 from .native import NativeCountDistribution
+from .native_idd import (
+    NativeHybridDistribution,
+    NativeIntelligentDistribution,
+)
 
-__all__ = ["ALGORITHMS", "make_miner", "mine_parallel", "compare_with_serial"]
+__all__ = [
+    "ALGORITHMS",
+    "NATIVE_ALGORITHMS",
+    "make_miner",
+    "mine_parallel",
+    "compare_with_serial",
+]
 
 
 def _make_dd_comm(*args, **kwargs) -> DataDistribution:
     return DataDistribution(*args, comm_scheme="ring", **kwargs)
 
 
-def _make_native(
-    min_support: float, num_processors: int, machine=None, **kwargs
-) -> NativeCountDistribution:
-    """Adapter for the real-multiprocessing backend.
+def _native_factory(cls) -> Callable[..., ParallelMiner]:
+    """Adapter for the real-multiprocessing backends.
 
-    It runs on actual OS processes, so the simulated ``machine`` cost
+    They run on actual OS processes, so the simulated ``machine`` cost
     model does not apply and is accepted only for signature
     compatibility with the other formulations.
     """
-    return NativeCountDistribution(min_support, num_processors, **kwargs)
 
+    def make(
+        min_support: float, num_processors: int, machine=None, **kwargs
+    ) -> ParallelMiner:
+        return cls(min_support, num_processors, **kwargs)
+
+    return make
+
+
+_make_native_cd = _native_factory(NativeCountDistribution)
+
+#: The three real-multiprocessing modes (``machine`` is ignored and the
+#: result carries no simulated timings).  ``"native"`` is the
+#: back-compat alias for ``"native-cd"``.
+NATIVE_ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
+    "native-cd": _make_native_cd,
+    "native-idd": _native_factory(NativeIntelligentDistribution),
+    "native-hd": _native_factory(NativeHybridDistribution),
+    "native": _make_native_cd,
+}
 
 ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
     "CD": CountDistribution,
@@ -48,7 +74,7 @@ ALGORITHMS: Dict[str, Callable[..., ParallelMiner]] = {
     "IDD": IntelligentDataDistribution,
     "HD": HybridDistribution,
     "HPA": HashPartitionedApriori,
-    "native": _make_native,
+    **NATIVE_ALGORITHMS,
 }
 
 
@@ -64,9 +90,10 @@ def make_miner(
 
     Args:
         algorithm: one of ``CD``, ``DD``, ``DD+comm``, ``IDD``, ``HD``,
-            ``HPA`` (simulated) or ``native`` (real multiprocessing;
-            ``machine`` is ignored and the result carries no simulated
-            timings).
+            ``HPA`` (simulated) or ``native-cd`` / ``native-idd`` /
+            ``native-hd`` (real multiprocessing; ``machine`` is ignored
+            and the result carries no simulated timings).  ``native``
+            is a back-compat alias for ``native-cd``.
         min_support: fractional minimum support.
         num_processors: P.
         machine: cost model.

@@ -74,7 +74,7 @@ class TestGanttRendering:
         trace.record(0, 0.0, 9.0, "subset")
         trace.record(0, 9.0, 10.0, "comm")
         chart = trace.render_gantt(1, width=10)
-        row = next(l for l in chart.splitlines() if l.startswith("P000"))
+        row = next(ln for ln in chart.splitlines() if ln.startswith("P000"))
         assert row.count(CATEGORY_GLYPHS["subset"]) >= 8
 
     def test_unknown_category_glyph(self):

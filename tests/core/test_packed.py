@@ -28,8 +28,6 @@ from repro.core.packed import (
     write_candidates_into,
     write_packed_into,
 )
-from repro.core.transaction import TransactionDB
-
 # Transactions here are raw item sequences (possibly empty, possibly
 # huge ids) — the packed layer is more permissive than TransactionDB's
 # canonical form, and must round-trip anything in int32 range.

@@ -7,9 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.apriori import Apriori
-from repro.core.rules import AssociationRule, generate_rules, rules_from_result
+from repro.core.rules import generate_rules, rules_from_result
 from repro.core.transaction import TransactionDB
-from tests.conftest import brute_force_frequent
 
 
 def brute_force_rules(frequent, num_transactions, min_confidence):

@@ -45,7 +45,7 @@ class TestRenderChart:
 
     def test_dimensions(self, result):
         chart = render_chart(result, width=32, height=8)
-        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        plot_lines = [ln for ln in chart.splitlines() if "|" in ln]
         assert len(plot_lines) == 8
         for line in plot_lines:
             assert len(line.split("|", 1)[1]) == 32

@@ -1,0 +1,38 @@
+"""Shared fixtures for the parallel-backend tests.
+
+``REPRO_TEST_START_METHOD`` is the CI chaos matrix's knob: when set
+(``fork`` / ``spawn``), every native miner these tests construct
+defaults to that multiprocessing start method, so the whole suite —
+ring, shift, and recovery paths included — runs once per start method
+in CI instead of only under the platform default.  Explicit
+``start_method=`` arguments in individual tests still win.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel.native import NativeCountDistribution
+from repro.parallel.native_idd import NativePartitionedMiner
+
+
+@pytest.fixture(autouse=True)
+def forced_start_method(monkeypatch):
+    """Default native miners to ``$REPRO_TEST_START_METHOD`` when set."""
+    method = os.environ.get("REPRO_TEST_START_METHOD")
+    if not method:
+        yield None
+        return
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable on this platform")
+    # NativePartitionedMiner covers both its IDD and HD subclasses.
+    for cls in (NativeCountDistribution, NativePartitionedMiner):
+        original = cls.__init__
+
+        def patched(self, *args, _original=original, **kwargs):
+            kwargs.setdefault("start_method", method)
+            _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", patched)
+    yield method

@@ -1,7 +1,5 @@
 """Tests for the HPA comparison baseline (Section III-E)."""
 
-import pytest
-
 from repro.core.apriori import Apriori
 from repro.parallel.hpa import HashPartitionedApriori, hpa_owner
 

@@ -8,7 +8,7 @@ sets, per-pass subset_stats, and the simulated response time itself.
 
 import pytest
 
-from repro.parallel.runner import ALGORITHMS, make_miner
+from repro.parallel.runner import ALGORITHMS, NATIVE_ALGORITHMS, make_miner
 
 NUM_PROCESSORS = 4
 MIN_SUPPORT = 0.05
@@ -26,7 +26,7 @@ def test_fast_kernel_is_invisible_to_the_simulation(
     ).mine(medium_quest_db)
 
     assert fast.frequent == reference.frequent
-    if algorithm == "native":
+    if algorithm in NATIVE_ALGORITHMS:
         # Real processes, no simulated clock: count equality is the
         # whole contract.
         return
@@ -39,7 +39,7 @@ def test_fast_kernel_is_invisible_to_the_simulation(
 
 def test_formulations_default_to_reference_kernel():
     for algorithm in ALGORITHMS:
-        if algorithm == "native":
+        if algorithm in NATIVE_ALGORITHMS:
             # Real mining, nothing reads the work counters: fast wins.
             assert make_miner(algorithm, 0.1, 2).kernel == "fast"
             continue

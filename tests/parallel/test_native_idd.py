@@ -1,0 +1,469 @@
+"""Tests for the native candidate-partitioned miners (IDD / HD).
+
+Covers the paper-level invariant (bit-identical frequent item-sets and
+counts vs serial Apriori at every P, on both data planes), the IDD
+bin-packing edge cases, the ring-shift recovery ladder, and the
+IDD-specific :class:`PassOverhead` instrumentation.
+"""
+
+import glob
+
+import pytest
+
+from repro.core.apriori import Apriori
+from repro.core.bitmap import ItemBitmap
+from repro.core.transaction import TransactionDB
+from repro.parallel.native import DATA_PLANES, NativeCountDistribution
+from repro.parallel.native_idd import (
+    NativeHybridDistribution,
+    NativeIntelligentDistribution,
+    NativePartitionedMiner,
+    _count_shard,
+    _even_bounds,
+    _PartitionedPool,
+)
+from repro.parallel.runner import NATIVE_ALGORITHMS, make_miner
+
+SUPPORT = 0.02
+TINY_SUPPORT = 0.3
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def _live_repro_segments():
+    return glob.glob("/dev/shm/repro-*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave /dev/shm clean — leaks fail the suite."""
+    before = set(_live_repro_segments())
+    yield
+    leaked = set(_live_repro_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+@pytest.fixture(scope="module")
+def quest_serial(small_quest_db):
+    return Apriori(SUPPORT).mine(small_quest_db)
+
+
+@pytest.fixture(scope="module")
+def tiny_partition_db():
+    """Six transactions over items 1..4 — only 3 distinct first items."""
+    return TransactionDB(
+        [
+            (1, 2, 3),
+            (1, 2),
+            (2, 3, 4),
+            (1, 3, 4),
+            (2, 4),
+            (1, 2, 3, 4),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_serial(tiny_partition_db):
+    return Apriori(TINY_SUPPORT).mine(tiny_partition_db)
+
+
+class TestIddIdentity:
+    """Native IDD == serial Apriori, bit for bit."""
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_matches_serial(self, small_quest_db, quest_serial, plane,
+                            workers):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, workers, data_plane=plane
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert miner.last_pool_size == workers
+        assert not miner.fault_log
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_reference_kernel_matches(self, small_quest_db, quest_serial,
+                                      plane):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, kernel="reference"
+        )
+        assert miner.mine(small_quest_db).frequent == quest_serial.frequent
+
+    def test_max_k_caps_passes(self, small_quest_db):
+        miner = NativeIntelligentDistribution(SUPPORT, 2, max_k=3)
+        result = miner.mine(small_quest_db)
+        serial = Apriori(SUPPORT, max_k=3).mine(small_quest_db)
+        assert result.frequent == serial.frequent
+        assert max(p.k for p in result.passes) <= 3
+
+
+class TestHdIdentity:
+    """Native HD == serial Apriori at both corners of the grid."""
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_forced_idd_corner(self, small_quest_db, quest_serial, plane):
+        # A tiny threshold makes every pass want many grid rows, so
+        # choose_grid picks G = P: max shard < full candidate set.
+        miner = NativeHybridDistribution(
+            SUPPORT, 4, data_plane=plane, switch_threshold=8
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        sharded = [
+            o for o in miner.last_pass_overheads if o.num_candidates >= 4
+        ]
+        assert sharded
+        assert all(
+            o.max_bin_candidates < o.num_candidates for o in sharded
+        )
+
+    def test_default_threshold_is_cd_corner(self, small_quest_db,
+                                            quest_serial):
+        # 50 000 candidates per row is never reached on this database,
+        # so G = 1: every worker holds the whole candidate set (CD).
+        miner = NativeHybridDistribution(SUPPORT, 4)
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert all(
+            o.max_bin_candidates == o.num_candidates
+            for o in miner.last_pass_overheads
+        )
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_intermediate_thresholds(self, small_quest_db, quest_serial,
+                                     workers):
+        miner = NativeHybridDistribution(
+            SUPPORT, workers, switch_threshold=40
+        )
+        assert miner.mine(small_quest_db).frequent == quest_serial.frequent
+
+
+class TestBinPackingEdges:
+    """IDD edge cases: empty bins and more workers than first items."""
+
+    def test_more_workers_than_first_items(self, tiny_partition_db,
+                                           tiny_serial):
+        # Pass-2 candidates have 3 distinct first items; with 4 workers
+        # at least one bin is empty, and the run must still be exact.
+        miner = NativeIntelligentDistribution(TINY_SUPPORT, 4)
+        result = miner.mine(tiny_partition_db)
+        assert result.frequent == tiny_serial.frequent
+        assert not miner.fault_log
+
+    def test_plan_covers_all_candidates_with_empty_bin(
+        self, tiny_partition_db
+    ):
+        candidates = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        from multiprocessing import get_context
+
+        pool = _PartitionedPool(
+            get_context(), 4, tiny_partition_db.to_packed(),
+            len(tiny_partition_db), 64, 16, "fast",
+            mode="idd", data_plane="pickle",
+        )
+        try:
+            units, owned_idx, rows = pool._plan(candidates)
+            assert rows == 4
+            # Bins partition the candidate indices exactly...
+            flat = sorted(i for idx in owned_idx for i in idx)
+            assert flat == list(range(len(candidates)))
+            # ...and with only 3 distinct first items, one bin is empty.
+            assert any(not idx for idx in owned_idx)
+            # Every ring is a permutation of the same block schedule.
+            bounds = _even_bounds(len(tiny_partition_db), 4)
+            for unit in units.values():
+                assert sorted(unit.ring) == sorted(bounds)
+        finally:
+            pool.shutdown()
+
+    def test_even_bounds_partitions_range(self):
+        bounds = _even_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        assert _even_bounds(3, 3) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestCountShard:
+    """Direct kernel-level checks of the worker's shard counting."""
+
+    def test_empty_bin_returns_empty_vector(self, tiny_partition_db):
+        packed = tiny_partition_db.to_packed()
+        ring = [(0, len(tiny_partition_db))]
+        vector, shift_s, checked, skipped = _count_shard(
+            packed, [(1, 2), (2, 3)], 0, ring, 2, "fast", 64, 16
+        )
+        assert vector == []
+        assert shift_s == 0.0
+        assert (checked, skipped) == (0, 0)
+
+    def test_bitmap_prunes_everything_outside_owned_range(self):
+        # The worker owns first item 1 but every transaction item is
+        # outside the owned range: all root tests must miss, yet the
+        # (zero) counts stay correct.  leaf_capacity=1 forces internal
+        # nodes, so the filter applies at the root item level (the
+        # degenerate one-leaf tree instead tests candidate first items).
+        db = TransactionDB([(5, 6), (6, 7, 8)])
+        packed = db.to_packed()
+        bits = ItemBitmap([1]).bits
+        vector, _shift, checked, skipped = _count_shard(
+            packed, [(1, 2), (1, 3)], bits, [(0, len(db))], 2, "fast",
+            64, 1,
+        )
+        assert vector == [0, 0]
+        assert checked > 0
+        assert skipped == checked  # every root test missed
+
+    def test_bitmap_passes_owned_items(self):
+        db = TransactionDB([(1, 2), (1, 2, 3)])
+        packed = db.to_packed()
+        bits = ItemBitmap([1, 2]).bits
+        vector, _shift, checked, skipped = _count_shard(
+            packed, [(1, 2), (1, 3)], bits, [(0, len(db))], 2, "fast",
+            64, 1,
+        )
+        assert vector == [2, 1]
+        assert checked > 0
+        assert skipped == 0  # every root test hit the owned range
+
+    def test_ring_order_does_not_change_counts(self, small_quest_db):
+        packed = small_quest_db.to_packed()
+        serial = Apriori(SUPPORT).mine(small_quest_db)
+        pairs = sorted(s for s in serial.frequent if len(s) == 2)[:8]
+        bits = ItemBitmap(sorted({c[0] for c in pairs})).bits
+        bounds = _even_bounds(len(small_quest_db), 3)
+        forward, *_ = _count_shard(
+            packed, pairs, bits, bounds, 2, "fast", 64, 16
+        )
+        rotated, *_ = _count_shard(
+            packed, pairs, bits, bounds[1:] + bounds[:1], 2, "fast", 64, 16
+        )
+        assert forward == rotated == [serial.frequent[c] for c in pairs]
+
+
+class TestRecoveryLadder:
+    """The PR 3 ladder, reshaped for candidate-partitioned units."""
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_kill_mid_ring_respawns(self, small_quest_db, quest_serial,
+                                    plane):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, faults="kill@1:k3:mid"
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert [(r.k, r.worker, r.action) for r in miner.fault_log] == [
+            (3, 1, "respawned")
+        ]
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_refused_respawn_is_adopted(self, small_quest_db, quest_serial,
+                                        plane):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, max_retries=0,
+            faults="kill@1:k2:mid,refuse-spawn:1",
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert [(r.k, r.worker, r.action) for r in miner.fault_log] == [
+            (2, 1, "adopted")
+        ]
+
+    def test_full_collapse_degrades_in_process(self, small_quest_db,
+                                               quest_serial):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 2, max_retries=0,
+            faults="kill@0:k2,kill@1:k2,refuse-spawn:9",
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        actions = {r.action for r in miner.fault_log}
+        assert actions == {"inprocess"}
+        assert len(miner.fault_log) == 2
+
+    def test_hd_grid_survives_kill(self, small_quest_db, quest_serial):
+        miner = NativeHybridDistribution(
+            SUPPORT, 4, switch_threshold=8, faults="kill@2:k3:mid"
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert miner.fault_log[0].action == "respawned"
+
+    def test_dead_survivor_is_repacked(self, tiny_partition_db):
+        """A survivor that dies mid-adoption is dropped as "repacked".
+
+        FaultSpec cannot target the adoption request (events fire at a
+        worker's own pass request), so this drives the pool directly:
+        both workers are killed under the pool's feet, respawns are
+        refused, and recovery of worker 1 must burn through the dead
+        "survivor" 0 before landing in-process.
+        """
+        from multiprocessing import get_context
+
+        candidates = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        pool = _PartitionedPool(
+            get_context(), 2, tiny_partition_db.to_packed(),
+            len(tiny_partition_db), 64, 16, "fast",
+            mode="idd", data_plane="pickle", recv_timeout=10.0,
+            max_retries=0,
+        )
+        try:
+            clean = pool.count_pass(2, candidates)
+            units, owned_idx, _rows = pool._plan(candidates)
+            for wid in (0, 1):
+                pool._slots[wid].process.terminate()
+                pool._slots[wid].process.join(timeout=10)
+            pool._refusals_left = 10 ** 9
+            unit = units[1]
+            vector = pool._recover(
+                1, 2, candidates, None, unit, len(owned_idx[unit.row]),
+                "died",
+            )
+            assert [(r.k, r.worker, r.action) for r in pool.fault_log] == [
+                (2, 0, "repacked"),
+                (2, 1, "inprocess"),
+            ]
+            owned = [candidates[i] for i in owned_idx[unit.row]]
+            assert vector == [clean[candidates.index(c)] for c in owned]
+            assert pool.num_workers == 0
+        finally:
+            pool.shutdown()
+
+    def test_empty_pool_counts_in_parent(self, tiny_partition_db,
+                                         tiny_serial):
+        # After a total collapse, later passes run via _count_all.
+        from multiprocessing import get_context
+
+        pool = _PartitionedPool(
+            get_context(), 2, tiny_partition_db.to_packed(),
+            len(tiny_partition_db), 64, 16, "fast",
+            mode="idd", data_plane="pickle",
+        )
+        try:
+            pool.shutdown()  # empty the pool, keep the packed store
+            candidates = [(1, 2), (2, 3), (2, 4), (3, 4)]
+            totals = pool.count_pass(2, candidates)
+            expected = [tiny_serial.frequent.get(c, None) for c in candidates]
+            for total, exact in zip(totals, expected):
+                if exact is not None:
+                    assert total == exact
+        finally:
+            pool.shutdown()
+
+
+class TestPassOverheads:
+    """The IDD-specific per-pass instrumentation."""
+
+    def test_bin_size_shrinks_with_workers(self, small_quest_db):
+        maxima = {}
+        for workers in (1, 2, 4):
+            miner = NativeIntelligentDistribution(
+                SUPPORT, workers, max_k=2
+            )
+            miner.mine(small_quest_db)
+            (overhead,) = [
+                o for o in miner.last_pass_overheads if o.k == 2
+            ]
+            maxima[workers] = overhead.max_bin_candidates
+        assert maxima[1] >= maxima[2] >= maxima[4]
+        assert maxima[4] < maxima[1]
+
+    def test_prune_tallies_populated(self, small_quest_db):
+        miner = NativeIntelligentDistribution(SUPPORT, 4, max_k=3)
+        miner.mine(small_quest_db)
+        for overhead in miner.last_pass_overheads:
+            assert overhead.shift_s >= 0.0
+            assert overhead.prune_checked > 0
+            assert 0.0 < overhead.prune_rate < 1.0
+
+    def test_prune_rate_grows_with_partitions(self, small_quest_db):
+        # A lone worker owns every candidate first item, so its bitmap
+        # only skips items that start no candidate at all; partitioning
+        # over 4 workers adds skips for the other bins' first items.
+        rates = {}
+        for workers in (1, 4):
+            miner = NativeIntelligentDistribution(
+                SUPPORT, workers, max_k=2
+            )
+            miner.mine(small_quest_db)
+            (overhead,) = miner.last_pass_overheads
+            rates[workers] = overhead.prune_rate
+        assert rates[4] > rates[1]
+
+
+class TestRunnerRegistration:
+    """native-idd / native-hd are first-class ALGORITHMS entries."""
+
+    def test_registry_keys(self):
+        assert set(NATIVE_ALGORITHMS) == {
+            "native", "native-cd", "native-idd", "native-hd"
+        }
+
+    def test_make_miner_dispatch(self):
+        assert isinstance(
+            make_miner("native-idd", 0.1, 2), NativeIntelligentDistribution
+        )
+        assert isinstance(
+            make_miner("native-hd", 0.1, 2), NativeHybridDistribution
+        )
+        assert isinstance(
+            make_miner("native-cd", 0.1, 2), NativeCountDistribution
+        )
+        # Back-compat alias.
+        assert isinstance(
+            make_miner("native", 0.1, 2), NativeCountDistribution
+        )
+
+    def test_machine_kwarg_is_ignored(self):
+        miner = make_miner("native-hd", 0.1, 2, machine=object())
+        assert miner.num_processors == 2
+
+
+class TestKnobValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            NativeIntelligentDistribution(0.1, 0)
+
+    def test_rejects_bad_max_k(self):
+        with pytest.raises(ValueError, match="max_k"):
+            NativeIntelligentDistribution(0.1, 2, max_k=0)
+
+    def test_rejects_bad_switch_threshold(self):
+        with pytest.raises(ValueError, match="switch_threshold"):
+            NativeHybridDistribution(0.1, 2, switch_threshold=0)
+
+    def test_rejects_bad_recv_timeout(self):
+        with pytest.raises(ValueError, match="recv_timeout"):
+            NativeIntelligentDistribution(0.1, 2, recv_timeout=0.0)
+
+    def test_rejects_bad_max_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            NativeIntelligentDistribution(0.1, 2, max_retries=-1)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ValueError, match="backoff_base"):
+            NativeIntelligentDistribution(0.1, 2, backoff_base=-1.0)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            NativeIntelligentDistribution(0.1, 2, kernel="bogus")
+
+    def test_rejects_bad_data_plane(self):
+        with pytest.raises(ValueError, match="data plane"):
+            NativeIntelligentDistribution(0.1, 2, data_plane="carrier")
+
+    def test_rejects_bad_mode(self):
+        class Broken(NativePartitionedMiner):
+            mode = "bogus"
+
+        with pytest.raises(ValueError, match="mode"):
+            Broken(0.1, 2)
+
+
+class TestPoolClamping:
+    def test_more_workers_than_transactions(self, tiny_partition_db,
+                                            tiny_serial):
+        miner = NativeIntelligentDistribution(TINY_SUPPORT, 32)
+        result = miner.mine(tiny_partition_db)
+        assert result.frequent == tiny_serial.frequent
+        assert miner.last_pool_size == len(tiny_partition_db)

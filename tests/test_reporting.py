@@ -1,7 +1,5 @@
 """Tests for run-report formatting."""
 
-import pytest
-
 from repro import Apriori, format_report
 from repro.parallel.runner import mine_parallel
 
@@ -17,7 +15,7 @@ class TestSerialReport:
         result = Apriori(0.3).mine(tiny_db)
         report = format_report(result)
         table_rows = [
-            l for l in report.splitlines() if l.strip() and l.strip()[0].isdigit()
+            ln for ln in report.splitlines() if ln.strip() and ln.strip()[0].isdigit()
         ]
         assert len(table_rows) == len(result.passes)
 
@@ -57,8 +55,8 @@ class TestParallelReport:
         )
         report = format_report(result)
         scan_values = {
-            int(l.split()[4])
-            for l in report.splitlines()
-            if l.strip() and l.strip()[0].isdigit()
+            int(ln.split()[4])
+            for ln in report.splitlines()
+            if ln.strip() and ln.strip()[0].isdigit()
         }
         assert max(scan_values) > 1
