@@ -9,10 +9,14 @@ By default the comparison covers the shared-plane per-pass coordinator
 overhead (``native.shared.*.coord_pass_s``) — the zero-copy data
 plane's headline metric — and fails (exit 1) when any key grows more
 than 25% over the baseline.  ``--prefix`` / ``--suffix`` retarget the
-key selection and ``--threshold`` adjusts the allowed growth, so other
+key selection and ``--threshold`` adjusts the allowed drift, so other
 benches can reuse the checker.
 
-Lower-than-baseline values never fail: improvements are recorded by
+``--worse`` names the bad direction for the selected keys: ``higher``
+(the default — timings, where growth is a regression) or ``lower``
+(speedups and ratios, where shrinkage is; the nightly workflow gates
+``native.vertical.*.speedup_vs_serial`` this way).  Values that moved
+in the *good* direction never fail: improvements are recorded by
 committing the fresh JSON, not by this gate.
 """
 
@@ -47,12 +51,18 @@ def compare(
     prefix: str = DEFAULT_PREFIX,
     suffix: str = DEFAULT_SUFFIX,
     threshold: float = DEFAULT_THRESHOLD,
+    worse: str = "higher",
 ) -> List[str]:
     """Return human-readable regression messages (empty = pass).
 
-    A key present in the baseline but missing from the current run is a
-    failure too — a silently dropped measurement must not read as green.
+    ``worse`` is the direction that fails: ``"higher"`` for timings
+    (values in seconds, printed as ms), ``"lower"`` for speedups and
+    ratios (dimensionless, printed raw).  A key present in the baseline
+    but missing from the current run is a failure too — a silently
+    dropped measurement must not read as green.
     """
+    if worse not in ("higher", "lower"):
+        raise ValueError(f"worse must be 'higher' or 'lower', got {worse!r}")
     keys = sorted(
         k for k in baseline if k.startswith(prefix) and k.endswith(suffix)
     )
@@ -68,18 +78,28 @@ def compare(
             problems.append(f"{key}: missing from current run")
             continue
         value = current[key]
-        limit = base * (1.0 + threshold)
-        growth = (value - base) / base if base > 0 else 0.0
-        status = "FAIL" if value > limit else "ok"
+        drift = (value - base) / base if base > 0 else 0.0
+        if worse == "higher":
+            limit = base * (1.0 + threshold)
+            failed = value > limit
+            shown_base, shown_value = f"{base * 1e3:.2f}ms", f"{value * 1e3:.2f}ms"
+            direction = "exceeds"
+        else:
+            limit = base * (1.0 - threshold)
+            failed = value < limit
+            shown_base, shown_value = f"{base:.3f}", f"{value:.3f}"
+            direction = "falls below"
+        status = "FAIL" if failed else "ok"
         print(
-            f"  {status:>4}  {key}: baseline {base * 1e3:.2f}ms -> "
-            f"current {value * 1e3:.2f}ms ({growth:+.1%}, "
-            f"limit {threshold:+.0%})"
+            f"  {status:>4}  {key}: baseline {shown_base} -> "
+            f"current {shown_value} ({drift:+.1%}, worse={worse}, "
+            f"limit {threshold:.0%})"
         )
-        if value > limit:
+        if failed:
             problems.append(
-                f"{key}: {value:.6f}s exceeds baseline {base:.6f}s "
-                f"by {growth:.1%} (threshold {threshold:.0%})"
+                f"{key}: {value:.6f} {direction} baseline {base:.6f} "
+                f"by {abs(drift):.1%} (threshold {threshold:.0%}, "
+                f"worse={worse})"
             )
     return problems
 
@@ -100,7 +120,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
-        help="allowed fractional growth over baseline (default 0.25)",
+        help="allowed fractional drift from baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--worse", choices=("higher", "lower"), default="higher",
+        help=(
+            "which direction fails: 'higher' for timings (default), "
+            "'lower' for speedups/ratios"
+        ),
     )
     args = parser.parse_args(argv)
     if args.threshold < 0:
@@ -111,6 +138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prefix=args.prefix,
         suffix=args.suffix,
         threshold=args.threshold,
+        worse=args.worse,
     )
     if problems:
         print("\nregressions detected:", file=sys.stderr)

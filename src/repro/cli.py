@@ -109,12 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         type=_kernel_arg,
         default=None,
-        metavar="{reference,fast}",
+        metavar="{reference,fast,vertical}",
         help=(
             "counting kernel: 'reference' (instrumented object hash "
-            "tree) or 'fast' (flat-array tree + triangular pass-2 "
-            "counter); counts are bit-identical — omit to keep each "
-            "algorithm's default"
+            "tree), 'fast' (flat-array tree + triangular pass-2 "
+            "counter), or 'vertical' (TID-bitmap intersections; serial "
+            "Apriori and native-* algorithms only); counts are "
+            "bit-identical — omit to keep each algorithm's default"
         ),
     )
     mine.add_argument(

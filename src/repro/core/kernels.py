@@ -1,6 +1,6 @@
-"""Counting-kernel selection: ``"reference"`` vs ``"fast"``.
+"""Counting-kernel selection: ``"reference"`` vs ``"fast"`` vs ``"vertical"``.
 
-The repository keeps two implementations of the paper's subset-counting
+The repository keeps three implementations of the paper's subset-counting
 kernel:
 
 * **reference** — :class:`repro.core.hashtree.HashTree`: per-node
@@ -12,6 +12,13 @@ kernel:
   :class:`repro.core.pass2.PairCounter` for the dense pass-2 candidate
   set.  Counts are bit-identical to the reference kernel on every
   input; only the work counters are absent.
+* **vertical** — :class:`repro.core.vertical.VerticalCounter`:
+  Eclat-style per-item TID bitmaps intersected per candidate and
+  popcounted with CPython big integers.  No per-transaction traversal
+  at all; counts are bit-identical to the reference kernel.  Bitmaps
+  are candidate-independent, so long-lived holders (the native pool's
+  workers) reuse them across passes via
+  :class:`~repro.core.vertical.TidBitmapCache`.
 
 :func:`make_counter` is the single decision point: drivers name a
 kernel and get back an object with the shared counting surface
@@ -31,6 +38,7 @@ from .hashtree import HashTree
 from .hashtree_flat import FlatHashTree
 from .items import Itemset
 from .pass2 import PairCounter
+from .vertical import VerticalCounter
 
 __all__ = [
     "KERNELS",
@@ -40,9 +48,9 @@ __all__ = [
     "Counter",
 ]
 
-KERNELS = ("reference", "fast")
+KERNELS = ("reference", "fast", "vertical")
 
-Counter = Union[HashTree, FlatHashTree, PairCounter]
+Counter = Union[HashTree, FlatHashTree, PairCounter, VerticalCounter]
 
 # A triangular pass-2 counter allocates one slot per item pair in the
 # span of the candidates.  apriori_gen's C2 fills the triangle exactly
@@ -56,7 +64,8 @@ def validate_kernel(kernel: str) -> str:
     """Return ``kernel`` if it names a known counting kernel.
 
     Raises:
-        ValueError: for anything other than ``"reference"`` or ``"fast"``.
+        ValueError: for anything other than ``"reference"``, ``"fast"``,
+            or ``"vertical"``.
     """
     if kernel not in KERNELS:
         known = ", ".join(repr(k) for k in KERNELS)
@@ -77,13 +86,15 @@ def make_counter(
     Args:
         k: candidate size (the pass number).
         candidates: canonical candidates of size ``k``.
-        kernel: ``"reference"`` (instrumented object tree) or ``"fast"``
-            (flat tree; triangular pair counter for a dense C2).
+        kernel: ``"reference"`` (instrumented object tree), ``"fast"``
+            (flat tree; triangular pair counter for a dense C2), or
+            ``"vertical"`` (TID-bitmap intersections).
         branching / leaf_capacity: hash tree geometry (ignored by the
-            pair counter).
+            pair counter and the vertical counter).
         needs_root_filter: the caller will pass ``root_filter`` when
-            counting (IDD-style pruning); forces a tree kernel, since
-            the pair counter has no root level.
+            counting (IDD-style pruning); forces a kernel with a root
+            level, since the pair counter has none.  The vertical
+            kernel filters per candidate and qualifies.
 
     Returns:
         A counter exposing the shared counting surface.
@@ -93,6 +104,8 @@ def make_counter(
         tree = HashTree(k, branching=branching, leaf_capacity=leaf_capacity)
         tree.insert_all(candidates)
         return tree
+    if kernel == "vertical":
+        return VerticalCounter(k, candidates)
     if k == 2 and candidates and not needs_root_filter:
         counter = PairCounter(candidates)
         if counter.triangle_size * _PASS2_MIN_FILL <= len(candidates):

@@ -400,7 +400,21 @@ class ParallelMiner(ABC):
         :class:`HashTree` or, with ``kernel="fast"``, a
         :class:`FlatHashTree` in instrumented mode whose counters (and
         therefore every derived simulated timing) are bit-identical.
+
+        Raises:
+            ValueError: for ``kernel="vertical"`` — bitmap intersection
+                performs none of the tree traversals the Section IV
+                cost model prices, so the simulated formulations cannot
+                time it.  The vertical kernel is for real mining only
+                (serial :class:`~repro.core.apriori.Apriori` and the
+                native pool).
         """
+        if self.kernel == "vertical":
+            raise ValueError(
+                "kernel='vertical' is not available in the simulated "
+                "formulations (no instrumented traversal to price); use "
+                "a native-* algorithm or serial Apriori"
+            )
         if self.kernel == "fast":
             tree = FlatHashTree(
                 k,

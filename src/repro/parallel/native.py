@@ -95,6 +95,7 @@ from ..core.packed import (
     write_packed_into,
 )
 from ..core.transaction import TransactionDB
+from ..core.vertical import TidBitmapCache
 from ..faults import FaultEvent, FaultRecord, FaultSpec
 
 __all__ = [
@@ -163,6 +164,16 @@ class PassOverhead:
     * ``prune_checked`` / ``prune_skipped`` — root-level bitmap filter
       tests and the subset of them that pruned the traversal
       (:attr:`prune_rate` is the bitmap-prune hit rate).
+
+    The vertical kernel (``kernel="vertical"``) fills two more, both
+    the *max* across workers (critical-path semantics, like
+    ``shift_s``); they stay zero under the tree kernels:
+
+    * ``bitmap_build_s`` — seconds building (or fetching from the
+      per-worker cache) the TID bitmaps; near-zero from the second
+      pass on, which is the cross-pass reuse showing up in the data;
+    * ``intersect_s`` — seconds intersecting candidate bitmaps and
+      popcounting.
     """
 
     k: int
@@ -174,6 +185,8 @@ class PassOverhead:
     max_bin_candidates: int = 0
     prune_checked: int = 0
     prune_skipped: int = 0
+    bitmap_build_s: float = 0.0
+    intersect_s: float = 0.0
 
     @property
     def coordinator_s(self) -> float:
@@ -346,13 +359,20 @@ def _count_holdings_vector(
     kernel: str,
     branching: int,
     leaf_capacity: int,
-) -> List[int]:
+    cache: Optional[TidBitmapCache] = None,
+) -> Tuple[List[int], float, float]:
     """Count one pass over a worker's holdings; vector in candidate order.
 
     Holdings are plane-shaped: ``(lo, hi)`` ranges into ``packed`` on
     the shared plane, materialized transaction blocks on the pickle
     plane.  Shared by the worker loop and the parent's in-process
     degradation path, so both produce identical counts by construction.
+
+    ``cache`` is the holder's cross-pass :class:`TidBitmapCache`; only
+    the vertical kernel consults it (bitmaps depend on the data range,
+    not on ``k``, so a persistent worker builds them once).  Returns
+    ``(vector, build_s, intersect_s)`` — the bitmap timings are zero
+    for the tree kernels.
     """
     counter = make_counter(
         k,
@@ -361,6 +381,8 @@ def _count_holdings_vector(
         branching=branching,
         leaf_capacity=leaf_capacity,
     )
+    if cache is not None and kernel == "vertical":
+        counter.use_cache(cache)
     if packed is None:
         for block in holdings:
             counter.count_database(block)
@@ -368,7 +390,12 @@ def _count_holdings_vector(
         for lo, hi in holdings:
             count_packed_into(counter, packed, lo, hi)
     counts = counter.counts()
-    return [counts[c] for c in candidates]
+    vector = [counts[c] for c in candidates]
+    return (
+        vector,
+        getattr(counter, "build_s", 0.0),
+        getattr(counter, "intersect_s", 0.0),
+    )
 
 
 def _worker_main(
@@ -401,13 +428,23 @@ def _worker_main(
     candidate segment (one binary decode, no pickling) and writes its
     vector into its slot of the counts segment.
 
-    Reply frames (worker → parent): ``("ok", seq, vector)`` on the
-    pickle plane / ``("ok", seq, num_written)`` on the shared plane, or
-    ``("error", seq, message)`` when counting raised — the parent
-    surfaces the message instead of seeing a silent death.  Every reply
-    echoes the request's ``seq``, so the parent can tell a reply to the
-    frame it just sent from a late reply to an earlier frame (a slow
-    worker's stale pass reply must never be read as an adopt result).
+    Reply frames (worker → parent): ``("ok", seq, (body, build_s,
+    intersect_s))`` — ``body`` is the count vector on the pickle plane
+    and the number of counts written on the shared plane, and the two
+    timings are the worker's vertical-kernel bitmap build/intersection
+    seconds (zero under the tree kernels) — or ``("error", seq,
+    message)`` when counting raised — the parent surfaces the message
+    instead of seeing a silent death.  Every reply echoes the request's
+    ``seq``, so the parent can tell a reply to the frame it just sent
+    from a late reply to an earlier frame (a slow worker's stale pass
+    reply must never be read as an adopt result).
+
+    Workers persist across passes, so the loop owns one
+    :class:`TidBitmapCache`: the vertical kernel builds each held
+    range's bitmaps on its first pass and every later pass intersects
+    cached ones.  A respawned replacement simply starts cold, and an
+    adopter builds the adopted ranges' bitmaps on first use — no bitmap
+    state needs recovering.
 
     ``fault_events`` are this worker's injected failures from a
     :class:`~repro.faults.FaultSpec`; each fires once.
@@ -435,6 +472,7 @@ def _worker_main(
         # exit; the coordinator owns the unlink).
         store_segment = _attach_segment(store_name)
         packed = packed_from_buffer(store_segment.buf)
+    cache = TidBitmapCache() if kernel == "vertical" else None
 
     try:
         while True:
@@ -469,9 +507,9 @@ def _worker_main(
             try:
                 if take("error", k) is not None:
                     raise RuntimeError(f"injected worker error at pass {k}")
-                vector = _count_holdings_vector(
+                vector, build_s, intersect_s = _count_holdings_vector(
                     packed, count_holdings, k, candidates, kernel,
-                    branching, leaf_capacity,
+                    branching, leaf_capacity, cache,
                 )
             except Exception as exc:  # surfaced, never swallowed
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
@@ -487,12 +525,17 @@ def _worker_main(
                 counts_segment.buf[base:base + 8 * len(vector)] = (
                     array("q", vector).tobytes()
                 )
-                conn.send(("ok", seq, len(vector)))
+                conn.send(("ok", seq, (len(vector), build_s, intersect_s)))
             else:
-                conn.send(("ok", seq, vector))
+                conn.send(("ok", seq, (vector, build_s, intersect_s)))
     except EOFError:
         pass
     finally:
+        # The cache pins the shm-backed packed view; drop it before the
+        # store segment object can be torn down, or its mmap close
+        # trips over the exported memoryview at interpreter shutdown.
+        if cache is not None:
+            cache.clear()
         conn.close()
 
 
@@ -567,6 +610,11 @@ class _WorkerPool:
         self._seq = 0
         self._slots: Dict[int, _Slot] = {}
         self._fallback_holdings: List = []
+        # The parent's own cross-pass bitmap cache for the in-process
+        # recovery rung (vertical kernel only).
+        self._inprocess_cache = (
+            TidBitmapCache() if kernel == "vertical" else None
+        )
         self._segments: Optional[_SharedSegments] = None
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
@@ -646,7 +694,7 @@ class _WorkerPool:
             tick = time.perf_counter()
             for conn in ready:
                 wid, seq = pending[conn]
-                vector, failure = self._read_reply(
+                vector, failure, timings = self._read_reply(
                     conn, wid, k, len(candidates), seq
                 )
                 if failure == "stale":
@@ -655,6 +703,14 @@ class _WorkerPool:
                 if vector is None:
                     failures.append((wid, failure))
                 else:
+                    # Critical-path semantics, like shift_s: the pass
+                    # is as slow as its slowest worker's kernel work.
+                    overhead.bitmap_build_s = max(
+                        overhead.bitmap_build_s, timings[0]
+                    )
+                    overhead.intersect_s = max(
+                        overhead.intersect_s, timings[1]
+                    )
                     for index, count in enumerate(vector):
                         totals[index] += count
             overhead.reduce_s += time.perf_counter() - tick
@@ -700,8 +756,9 @@ class _WorkerPool:
 
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int
-    ) -> Tuple[Optional[List[int]], str]:
-        """Read one reply frame; return (vector, "") or (None, failure).
+    ) -> Tuple[Optional[List[int]], str, Tuple[float, float]]:
+        """Read one reply frame; return (vector, "", timings) or
+        (None, failure, (0, 0)).
 
         A reply echoing a sequence number other than ``seq`` answers an
         *earlier* request (a slow worker draining its queue) and is
@@ -709,32 +766,40 @@ class _WorkerPool:
         waiting rather than mistaking it for the current reply — even
         when the payload happens to have the expected length.
 
-        On the shared plane the ok-payload is the number of counts the
-        worker wrote to its slot; a mismatch (e.g. an injected truncated
-        vector) is ``"corrupt"``, exactly as a short pickled list is.
+        The ok-payload is ``(body, build_s, intersect_s)``; ``body`` on
+        the shared plane is the number of counts the worker wrote to
+        its slot — a mismatch (e.g. an injected truncated vector) is
+        ``"corrupt"``, exactly as a short pickled list is.  The timings
+        are the worker's vertical-kernel bitmap seconds for the
+        request (zero under tree kernels).
         """
+        no_timing = (0.0, 0.0)
         try:
             frame = conn.recv()
         except (EOFError, OSError):
-            return None, "died"
+            return None, "died", no_timing
         if not (isinstance(frame, tuple) and len(frame) == 3):
-            return None, "corrupt"
+            return None, "corrupt", no_timing
         tag, frame_seq, payload = frame
         if frame_seq != seq:
-            return None, "stale"
+            return None, "stale", no_timing
         if tag == "error":
             raise WorkerError(
                 f"worker {wid} failed at pass {k}: {payload}"
             )
         if tag != "ok":
-            return None, "corrupt"
+            return None, "corrupt", no_timing
+        if not (isinstance(payload, tuple) and len(payload) == 3):
+            return None, "corrupt", no_timing
+        body, build_s, intersect_s = payload
+        timings = (build_s, intersect_s)
         if self._plane == "shared":
-            if payload != expected:
-                return None, "corrupt"
-            return self._segments.read_counts(wid, expected), ""
-        if not isinstance(payload, list) or len(payload) != expected:
-            return None, "corrupt"
-        return payload, ""
+            if body != expected:
+                return None, "corrupt", no_timing
+            return self._segments.read_counts(wid, expected), "", timings
+        if not isinstance(body, list) or len(body) != expected:
+            return None, "corrupt", no_timing
+        return body, "", timings
 
     # ------------------------------------------------------------------
     # Recovery ladder
@@ -843,7 +908,9 @@ class _WorkerPool:
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not slot.conn.poll(remaining):
                 return None
-            vector, failure = self._read_reply(slot.conn, wid, k, expected, seq)
+            vector, failure, _timings = self._read_reply(
+                slot.conn, wid, k, expected, seq
+            )
             if failure != "stale":
                 return vector
 
@@ -891,11 +958,12 @@ class _WorkerPool:
     def _count_inprocess(
         self, holdings: Sequence, k: int, candidates: Sequence[Itemset]
     ) -> List[int]:
-        return _count_holdings_vector(
+        vector, _build_s, _intersect_s = _count_holdings_vector(
             self._packed if self._plane == "shared" else None,
             holdings, k, candidates, self._kernel, self._branching,
-            self._leaf_capacity,
+            self._leaf_capacity, self._inprocess_cache,
         )
+        return vector
 
     # ------------------------------------------------------------------
     # Teardown
@@ -957,8 +1025,11 @@ class NativeCountDistribution:
         max_k: optional pass cap.
         start_method: multiprocessing start method (``"fork"`` is
             fastest where available; ``None`` uses the platform default).
-        kernel: per-worker counting kernel, ``"fast"`` (default) or
-            ``"reference"``; both yield identical counts.
+        kernel: per-worker counting kernel, ``"fast"`` (default),
+            ``"reference"``, or ``"vertical"`` (per-item TID bitmaps
+            intersected per candidate; each worker builds its block's
+            bitmaps once and reuses them every pass); all yield
+            identical counts.
         data_plane: ``"shared"`` (default) — packed transactions in a
             shared-memory store, binary candidate broadcast, count
             vectors in shared int64 slots; or ``"pickle"`` — everything
@@ -981,6 +1052,22 @@ class NativeCountDistribution:
     :attr:`last_pass_overheads` the per-pass coordinator
     broadcast/reduce timing decomposition
     (:class:`PassOverhead`; consumed by ``benchmarks/bench_native.py``).
+
+    **Warm pool.**  By default every :meth:`mine` call spawns and reaps
+    its own pool (~0.5 s respawn tax per invocation).  Used as a
+    context manager, the miner keeps the pool warm between calls
+    instead::
+
+        with NativeCountDistribution(0.01, 4) as miner:
+            for _ in range(rounds):
+                result = miner.mine(db)   # pool spawned once
+
+    The pool is reused only when it is demonstrably the same
+    computation's pool — same ``db`` object, no injected faults, and
+    the previous mine finished clean (no recoveries, not degraded);
+    anything else quietly rebuilds it.  :attr:`last_pool_reused`
+    reports what happened.  Outside a ``with`` block behaviour is
+    unchanged; :meth:`close` releases a kept pool early.
     """
 
     def __init__(
@@ -1023,29 +1110,59 @@ class NativeCountDistribution:
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
         self.last_pass_overheads: List[PassOverhead] = []
+        self.last_pool_reused = False
+        self._keep_pool = False
+        self._pool: Optional[_WorkerPool] = None
+        self._pool_db: Optional[TransactionDB] = None
 
     @property
     def num_processors(self) -> int:
         """Alias for ``num_workers`` (runner-facade compatibility)."""
         return self.num_workers
 
-    def mine(self, db: TransactionDB) -> AprioriResult:
-        """Mine ``db`` with counting fanned out over worker processes."""
-        min_count = min_support_count(self.min_support, max(1, len(db)))
-        result = AprioriResult(
-            frequent={},
-            min_support=self.min_support,
-            min_count=min_count,
-            num_transactions=len(db),
-        )
-        self.fault_log = []
-        self.last_pool_size = 0
-        self.last_pass_overheads = []
+    def __enter__(self) -> "NativeCountDistribution":
+        self._keep_pool = True
+        return self
 
-        # Pass 1 is a trivial scan; not worth process overhead.
-        frequent_prev = self._pass_one(db, min_count, result)
-        if not frequent_prev:
-            return result
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down a kept warm pool (no-op when none is live)."""
+        self._keep_pool = False
+        pool, self._pool, self._pool_db = self._pool, None, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _has_faults(self) -> bool:
+        return self.faults is not None and (
+            len(self.faults) > 0 or self.faults.refusals() > 0
+        )
+
+    def _acquire_pool(self, db: TransactionDB) -> _WorkerPool:
+        """Reuse the kept warm pool for ``db``, or build a fresh one.
+
+        Reuse requires the *same* database object (holdings and the
+        shared store were derived from it), no injected faults, and a
+        clean previous run — a degraded pool or one that logged
+        recoveries is discarded so every ``mine()`` starts from the
+        declared worker topology.
+        """
+        if (
+            self._keep_pool
+            and self._pool is not None
+            and self._pool_db is db
+            and not self._has_faults()
+            and not self._pool.degraded
+            and not self._pool.fault_log
+        ):
+            self.last_pool_reused = True
+            self._pool.pass_overheads.clear()
+            return self._pool
+        self.last_pool_reused = False
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool, self._pool_db = None, None
 
         # Clamp to non-empty blocks: partition() pads with empty parts
         # when num_workers exceeds the transaction count, and an empty
@@ -1072,8 +1189,7 @@ class NativeCountDistribution:
             if self.start_method
             else get_context()
         )
-        k = 2
-        with _WorkerPool(
+        return _WorkerPool(
             context,
             holdings,
             self.branching,
@@ -1085,7 +1201,46 @@ class NativeCountDistribution:
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
             faults=self.faults,
-        ) as pool:
+        )
+
+    def _release_pool(self, pool: _WorkerPool, clean: bool, db) -> None:
+        """Keep a clean pool warm (context-managed) or shut it down."""
+        if (
+            self._keep_pool
+            and clean
+            and not self._has_faults()
+            and not pool.degraded
+            and not pool.fault_log
+        ):
+            self._pool = pool
+            self._pool_db = db
+            return
+        if pool is self._pool:
+            self._pool, self._pool_db = None, None
+        pool.shutdown()
+
+    def mine(self, db: TransactionDB) -> AprioriResult:
+        """Mine ``db`` with counting fanned out over worker processes."""
+        min_count = min_support_count(self.min_support, max(1, len(db)))
+        result = AprioriResult(
+            frequent={},
+            min_support=self.min_support,
+            min_count=min_count,
+            num_transactions=len(db),
+        )
+        self.fault_log = []
+        self.last_pool_size = 0
+        self.last_pass_overheads = []
+
+        # Pass 1 is a trivial scan; not worth process overhead.
+        frequent_prev = self._pass_one(db, min_count, result)
+        if not frequent_prev:
+            return result
+
+        k = 2
+        pool = self._acquire_pool(db)
+        clean = False
+        try:
             self.last_pool_size = pool.num_workers
             while frequent_prev and (self.max_k is None or k <= self.max_k):
                 candidates = generate_candidates(frequent_prev)
@@ -1109,6 +1264,9 @@ class NativeCountDistribution:
                 k += 1
             self.fault_log = list(pool.fault_log)
             self.last_pass_overheads = list(pool.pass_overheads)
+            clean = True
+        finally:
+            self._release_pool(pool, clean, db)
         return result
 
     def _pass_one(

@@ -76,6 +76,7 @@ from ..core.kernels import count_packed_into, make_counter, validate_kernel
 from ..core.packed import PackedDB, candidates_from_bytes, packed_from_buffer
 from ..core.partition import partition_by_first_item
 from ..core.transaction import TransactionDB
+from ..core.vertical import TidBitmapCache
 from ..faults import FaultEvent, FaultRecord, FaultSpec
 from .hybrid import choose_grid
 from .native import (
@@ -132,15 +133,23 @@ def _count_shard(
     branching: int,
     leaf_capacity: int,
     kill_after: Optional[int] = None,
-) -> Tuple[List[int], float, int, int]:
+    cache: Optional[TidBitmapCache] = None,
+) -> Tuple[List[int], float, int, int, float, float]:
     """Count one worker's candidate shard over its ring of store slices.
 
     The shard is rebuilt from the full candidate list and the ownership
     bitmap (both sides select ``c[0] in bitmap`` over the same sorted
     list, so worker and coordinator agree on shard order without ever
     shipping the shard itself).  Returns ``(vector, shift_s, checked,
-    skipped)`` — the counts in shard order, the total ring-walk seconds,
-    and the root-filter tallies.
+    skipped, build_s, intersect_s)`` — the counts in shard order, the
+    total ring-walk seconds, the root-filter tallies, and the vertical
+    kernel's TID-bitmap build/intersection seconds (zero under the tree
+    kernels).
+
+    ``cache`` is the holder's cross-pass :class:`TidBitmapCache`; the
+    vertical kernel keys it on the ring's ``(lo, hi)`` slices, so after
+    one full ring walk every store slice's bitmaps are warm for all
+    later passes (until a shrunken pool re-derives the bounds).
 
     ``kill_after`` is the fault-injection hook: die (``os._exit``) after
     that many completed ring steps — a genuine mid-ring death, with the
@@ -153,7 +162,7 @@ def _count_shard(
         # schedules stay deterministic regardless of bin packing.
         if kill_after is not None:
             os._exit(_KILLED_EXIT)
-        return [], 0.0, 0, 0
+        return [], 0.0, 0, 0, 0.0, 0.0
     tally = _TallyFilter(bitmap)
     counter = make_counter(
         k,
@@ -163,6 +172,8 @@ def _count_shard(
         leaf_capacity=leaf_capacity,
         needs_root_filter=True,
     )
+    if cache is not None and kernel == "vertical":
+        counter.use_cache(cache)
     shift_s = 0.0
     steps = 0
     for lo, hi in ring:
@@ -174,7 +185,11 @@ def _count_shard(
             os._exit(_KILLED_EXIT)
     counts = counter.counts()
     vector = [counts[c] for c in owned]
-    return vector, shift_s, tally.checked, tally.skipped
+    return (
+        vector, shift_s, tally.checked, tally.skipped,
+        getattr(counter, "build_s", 0.0),
+        getattr(counter, "intersect_s", 0.0),
+    )
 
 
 def _worker_main(
@@ -207,10 +222,18 @@ def _worker_main(
     schedule of store slices to walk.
 
     Replies echo the request ``seq``: ``("ok", seq, (body, shift_s,
-    checked, skipped))`` where ``body`` is the number of counts written
-    to the shared slot (shared-plane ``"pass"``) or the vector itself
-    (everything else), or ``("error", seq, message)`` when counting
-    raised.
+    checked, skipped, build_s, intersect_s))`` where ``body`` is the
+    number of counts written to the shared slot (shared-plane
+    ``"pass"``) or the vector itself (everything else) and the two
+    trailing timings are the vertical kernel's bitmap seconds (zero
+    under the tree kernels), or ``("error", seq, message)`` when
+    counting raised.
+
+    The loop owns one :class:`TidBitmapCache`; since a ring schedule
+    tiles the whole store, one vertical-kernel pass warms every slice's
+    bitmaps for all later passes.  Respawned replacements start cold
+    and adopted units reuse whatever slices the worker already built —
+    no bitmap state needs recovering.
     """
     pending = list(fault_events)
 
@@ -230,6 +253,7 @@ def _worker_main(
         packed = plane[1]
     counts_segment = None
     counts_name: Optional[str] = None
+    cache = TidBitmapCache() if kernel == "vertical" else None
     try:
         while True:
             message = conn.recv()
@@ -263,9 +287,12 @@ def _worker_main(
             try:
                 if take("error", k) is not None:
                     raise RuntimeError(f"injected worker error at pass {k}")
-                vector, shift_s, checked, skipped = _count_shard(
+                (
+                    vector, shift_s, checked, skipped,
+                    build_s, intersect_s,
+                ) = _count_shard(
                     packed, candidates, owned_bits, ring, k,
-                    kernel, branching, leaf_capacity, kill_after,
+                    kernel, branching, leaf_capacity, kill_after, cache,
                 )
             except Exception as exc:  # surfaced, never swallowed
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
@@ -282,7 +309,10 @@ def _worker_main(
                 body: object = len(vector)
             else:
                 body = vector
-            conn.send(("ok", seq, (body, shift_s, checked, skipped)))
+            conn.send(
+                ("ok", seq,
+                 (body, shift_s, checked, skipped, build_s, intersect_s))
+            )
     except EOFError:
         pass
     finally:
@@ -291,7 +321,10 @@ def _worker_main(
         # finalized: SharedMemory.close() raises BufferError while
         # exported memoryviews (the PackedDB's buffers) are alive, and
         # interpreter-shutdown finalization order is not guaranteed to
-        # free them first.
+        # free them first.  The bitmap cache pins the packed store too,
+        # so it goes first.
+        if cache is not None:
+            cache.clear()
         packed = None
         if counts_segment is not None:
             counts_segment.close()
@@ -383,6 +416,11 @@ class _PartitionedPool:
         self._seq = 0
         self._slots: Dict[int, _Slot] = {}
         self._segments: Optional[_SharedSegments] = None
+        # The parent's own cross-pass bitmap cache for the in-process
+        # recovery rungs (vertical kernel only).
+        self._inprocess_cache = (
+            TidBitmapCache() if kernel == "vertical" else None
+        )
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
         try:
@@ -540,11 +578,15 @@ class _PartitionedPool:
                 if reply is None:
                     failures.append((wid, failure))
                     continue
-                vector, shift_s, checked, skipped = reply
+                vector, shift_s, checked, skipped, build_s, intersect_s = reply
                 _scatter(totals, owned_idx[units[wid].row], vector)
                 overhead.shift_s = max(overhead.shift_s, shift_s)
                 overhead.prune_checked += checked
                 overhead.prune_skipped += skipped
+                overhead.bitmap_build_s = max(
+                    overhead.bitmap_build_s, build_s
+                )
+                overhead.intersect_s = max(overhead.intersect_s, intersect_s)
             overhead.reduce_s += time.perf_counter() - tick
         for wid, _seq in pending.values():
             failures.append((wid, "timeout"))
@@ -569,7 +611,7 @@ class _PartitionedPool:
 
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int, inline: bool
-    ) -> Tuple[Optional[Tuple[List[int], float, int, int]], str]:
+    ) -> Tuple[Optional[Tuple[List[int], float, int, int, float, float]], str]:
         """Read one reply frame; ``(reply, "")`` or ``(None, failure)``.
 
         ``inline`` selects where the vector lives: in the frame itself
@@ -592,9 +634,9 @@ class _PartitionedPool:
             raise WorkerError(f"worker {wid} failed at pass {k}: {payload}")
         if tag != "ok":
             return None, "corrupt"
-        if not (isinstance(payload, tuple) and len(payload) == 4):
+        if not (isinstance(payload, tuple) and len(payload) == 6):
             return None, "corrupt"
-        body, shift_s, checked, skipped = payload
+        body, shift_s, checked, skipped, build_s, intersect_s = payload
         if inline:
             if not isinstance(body, list) or len(body) != expected:
                 return None, "corrupt"
@@ -603,7 +645,7 @@ class _PartitionedPool:
             if body != expected:
                 return None, "corrupt"
             vector = self._segments.read_counts(wid, expected)
-        return (vector, shift_s, checked, skipped), ""
+        return (vector, shift_s, checked, skipped, build_s, intersect_s), ""
 
     # ------------------------------------------------------------------
     # Recovery ladder
@@ -692,7 +734,7 @@ class _PartitionedPool:
     def _ask(
         self, slot: _Slot, request, wid: int, k: int, expected: int,
         inline: bool,
-    ) -> Optional[Tuple[List[int], float, int, int]]:
+    ) -> Optional[Tuple[List[int], float, int, int, float, float]]:
         """Send one request to one slot; poll-bounded reply or ``None``."""
         seq = self._next_seq()
         try:
@@ -766,6 +808,8 @@ class _PartitionedPool:
             k, owned, kernel=self._kernel, branching=self._branching,
             leaf_capacity=self._leaf_capacity, needs_root_filter=True,
         )
+        if self._inprocess_cache is not None and self._kernel == "vertical":
+            counter.use_cache(self._inprocess_cache)
         for lo, hi in unit.ring:
             count_packed_into(counter, self._packed, lo, hi)
         counts = counter.counts()
@@ -777,6 +821,8 @@ class _PartitionedPool:
             k, candidates, kernel=self._kernel, branching=self._branching,
             leaf_capacity=self._leaf_capacity,
         )
+        if self._inprocess_cache is not None and self._kernel == "vertical":
+            counter.use_cache(self._inprocess_cache)
         count_packed_into(counter, self._packed, 0, self._num_transactions)
         counts = counter.counts()
         return [counts[c] for c in candidates]
@@ -844,8 +890,10 @@ class NativePartitionedMiner:
         max_k: optional pass cap.
         start_method: multiprocessing start method (``None`` = platform
             default).
-        kernel: per-worker counting kernel, ``"fast"`` or
-            ``"reference"``; both yield identical counts.
+        kernel: per-worker counting kernel, ``"fast"`` (default),
+            ``"reference"``, or ``"vertical"`` (TID-bitmap
+            intersections; a ring walk warms every store slice's
+            bitmaps for all later passes); all yield identical counts.
         data_plane: ``"shared"`` (default; ring shifts are zero-copy
             reads of the shared packed store) or ``"pickle"`` (the store
             ships into each worker once at spawn).
@@ -861,6 +909,12 @@ class NativePartitionedMiner:
     After :meth:`mine`, :attr:`fault_log`, :attr:`last_pool_size` and
     :attr:`last_pass_overheads` mirror the CD miner's introspection
     surface (with the IDD-specific :class:`PassOverhead` fields filled).
+
+    Used as a context manager, the miner keeps its pool (and the
+    packed store) warm across :meth:`mine` calls exactly like
+    :class:`~repro.parallel.native.NativeCountDistribution`: reuse
+    requires the same ``db`` object, no injected faults, and a clean
+    previous run; :attr:`last_pool_reused` reports what happened.
     """
 
     mode = "idd"
@@ -918,11 +972,103 @@ class NativePartitionedMiner:
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
         self.last_pass_overheads: List[PassOverhead] = []
+        self.last_pool_reused = False
+        self._keep_pool = False
+        self._pool: Optional[_PartitionedPool] = None
+        self._pool_db: Optional[TransactionDB] = None
 
     @property
     def num_processors(self) -> int:
         """Alias for ``num_workers`` (runner-facade compatibility)."""
         return self.num_workers
+
+    def __enter__(self) -> "NativePartitionedMiner":
+        self._keep_pool = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down a kept warm pool (no-op when none is live)."""
+        self._keep_pool = False
+        pool, self._pool, self._pool_db = self._pool, None, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _has_faults(self) -> bool:
+        return self.faults is not None and (
+            len(self.faults) > 0 or self.faults.refusals() > 0
+        )
+
+    def _acquire_pool(self, db: TransactionDB) -> _PartitionedPool:
+        """Reuse the kept warm pool for ``db``, or build a fresh one.
+
+        Reuse requires the same database object, no injected faults,
+        and a clean previous run (no logged recoveries — every rung of
+        the ladder logs one, so an empty log means the declared worker
+        topology is intact).  Reuse also skips re-packing the store.
+        """
+        if (
+            self._keep_pool
+            and self._pool is not None
+            and self._pool_db is db
+            and not self._has_faults()
+            and not self._pool.fault_log
+        ):
+            self.last_pool_reused = True
+            self._pool.pass_overheads.clear()
+            return self._pool
+        self.last_pool_reused = False
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool, self._pool_db = None, None
+
+        # Pack once; on the shared plane workers attach the store
+        # segment, on the pickle plane each worker receives this copy at
+        # spawn.  The parent keeps it either way for the in-process
+        # recovery rung.
+        packed = db.to_packed()
+        num_workers = max(1, min(self.num_workers, len(db)))
+        context = (
+            get_context(self.start_method)
+            if self.start_method
+            else get_context()
+        )
+        return _PartitionedPool(
+            context,
+            num_workers,
+            packed,
+            len(db),
+            self.branching,
+            self.leaf_capacity,
+            self.kernel,
+            mode=self.mode,
+            switch_threshold=self.switch_threshold,
+            refine_threshold=self.refine_threshold,
+            data_plane=self.data_plane,
+            recv_timeout=self.recv_timeout,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            faults=self.faults,
+        )
+
+    def _release_pool(
+        self, pool: _PartitionedPool, clean: bool, db: TransactionDB
+    ) -> None:
+        """Keep a clean pool warm (context-managed) or shut it down."""
+        if (
+            self._keep_pool
+            and clean
+            and not self._has_faults()
+            and not pool.fault_log
+        ):
+            self._pool = pool
+            self._pool_db = db
+            return
+        if pool is self._pool:
+            self._pool, self._pool_db = None, None
+        pool.shutdown()
 
     def mine(self, db: TransactionDB) -> AprioriResult:
         """Mine ``db`` with candidate-partitioned worker processes."""
@@ -941,35 +1087,10 @@ class NativePartitionedMiner:
         if not frequent_prev:
             return result
 
-        # Pack once; on the shared plane workers attach the store
-        # segment, on the pickle plane each worker receives this copy at
-        # spawn.  The parent keeps it either way for the in-process
-        # recovery rung.
-        packed = db.to_packed()
-        num_workers = max(1, min(self.num_workers, len(db)))
-        context = (
-            get_context(self.start_method)
-            if self.start_method
-            else get_context()
-        )
         k = 2
-        with _PartitionedPool(
-            context,
-            num_workers,
-            packed,
-            len(db),
-            self.branching,
-            self.leaf_capacity,
-            self.kernel,
-            mode=self.mode,
-            switch_threshold=self.switch_threshold,
-            refine_threshold=self.refine_threshold,
-            data_plane=self.data_plane,
-            recv_timeout=self.recv_timeout,
-            max_retries=self.max_retries,
-            backoff_base=self.backoff_base,
-            faults=self.faults,
-        ) as pool:
+        pool = self._acquire_pool(db)
+        clean = False
+        try:
             self.last_pool_size = pool.num_workers
             while frequent_prev and (self.max_k is None or k <= self.max_k):
                 candidates = generate_candidates(frequent_prev)
@@ -993,6 +1114,9 @@ class NativePartitionedMiner:
                 k += 1
             self.fault_log = list(pool.fault_log)
             self.last_pass_overheads = list(pool.pass_overheads)
+            clean = True
+        finally:
+            self._release_pool(pool, clean, db)
         return result
 
 

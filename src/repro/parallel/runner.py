@@ -101,7 +101,10 @@ def make_miner(
             ``"reference"`` (instrumented object tree, the formulation
             default) or ``"fast"`` (flat-array tree in instrumented
             mode; bit-identical counters and simulated timings).
-            ``None`` keeps the formulation's default.
+            Native formulations additionally accept ``"vertical"``
+            (TID-bitmap intersections; bit-identical counts, no
+            simulated timings to price, so the simulated formulations
+            reject it).  ``None`` keeps the formulation's default.
         **kwargs: forwarded to the formulation's constructor (e.g.
             ``switch_threshold`` for HD, ``max_k``, ``charge_io``;
             ``data_plane`` for the native pool's transport).

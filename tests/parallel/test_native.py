@@ -56,7 +56,7 @@ class TestNativeCountDistribution:
 
     def test_kernels_agree_with_serial(self, medium_quest_db):
         serial = Apriori(0.05, kernel="reference").mine(medium_quest_db)
-        for kernel in ("reference", "fast"):
+        for kernel in ("reference", "fast", "vertical"):
             native = NativeCountDistribution(0.05, 3, kernel=kernel).mine(
                 medium_quest_db
             )
@@ -115,7 +115,7 @@ class TestDataPlanes:
     @pytest.mark.parametrize("data_plane", DATA_PLANES)
     def test_planes_agree_across_kernels(self, small_quest_db, data_plane):
         serial = Apriori(0.02, kernel="reference").mine(small_quest_db)
-        for kernel in ("reference", "fast"):
+        for kernel in ("reference", "fast", "vertical"):
             native = NativeCountDistribution(
                 0.02, 2, data_plane=data_plane, kernel=kernel
             ).mine(small_quest_db)
@@ -134,6 +134,80 @@ class TestDataPlanes:
             assert overhead.coordinator_s == pytest.approx(
                 overhead.broadcast_s + overhead.reduce_s
             )
+
+    @pytest.mark.parametrize("data_plane", DATA_PLANES)
+    def test_vertical_overheads_recorded(self, tiny_db, data_plane):
+        """The vertical kernel reports bitmap build / intersection time;
+        the tree kernels leave both fields at zero."""
+        miner = NativeCountDistribution(
+            0.3, 2, data_plane=data_plane, kernel="vertical"
+        )
+        miner.mine(tiny_db)
+        assert any(
+            o.bitmap_build_s > 0 for o in miner.last_pass_overheads
+        )
+        assert all(
+            o.intersect_s >= 0 for o in miner.last_pass_overheads
+        )
+        miner = NativeCountDistribution(0.3, 2, data_plane=data_plane)
+        miner.mine(tiny_db)
+        for overhead in miner.last_pass_overheads:
+            assert overhead.bitmap_build_s == 0.0
+            assert overhead.intersect_s == 0.0
+
+
+class TestWarmPool:
+    """Context-manager reuse of the worker pool across mine() calls."""
+
+    def test_no_reuse_outside_context(self, tiny_db):
+        serial = Apriori(0.3).mine(tiny_db)
+        miner = NativeCountDistribution(0.3, 2)
+        assert miner.mine(tiny_db).frequent == serial.frequent
+        assert miner.last_pool_reused is False
+        assert miner.mine(tiny_db).frequent == serial.frequent
+        assert miner.last_pool_reused is False
+
+    @pytest.mark.parametrize("kernel", ["fast", "vertical"])
+    def test_reuse_within_context(self, tiny_db, kernel):
+        serial = Apriori(0.3).mine(tiny_db)
+        with NativeCountDistribution(0.3, 2, kernel=kernel) as miner:
+            assert miner.mine(tiny_db).frequent == serial.frequent
+            assert miner.last_pool_reused is False
+            assert miner.mine(tiny_db).frequent == serial.frequent
+            assert miner.last_pool_reused is True
+            assert miner.mine(tiny_db).frequent == serial.frequent
+            assert miner.last_pool_reused is True
+        # Pool torn down on exit; a later mine() starts cold again.
+        assert miner.mine(tiny_db).frequent == serial.frequent
+        assert miner.last_pool_reused is False
+
+    def test_different_db_rebuilds_pool(self, tiny_db, small_quest_db):
+        with NativeCountDistribution(0.3, 2) as miner:
+            miner.mine(tiny_db)
+            miner.mine(small_quest_db)
+            assert miner.last_pool_reused is False
+            serial = Apriori(0.3).mine(small_quest_db)
+            assert (
+                miner.mine(small_quest_db).frequent == serial.frequent
+            )
+            assert miner.last_pool_reused is True
+
+    def test_faulty_run_is_not_reused(self, tiny_db):
+        serial = Apriori(0.3).mine(tiny_db)
+        with NativeCountDistribution(
+            0.3, 2, faults="kill@0:k2", backoff_base=0.01
+        ) as miner:
+            assert miner.mine(tiny_db).frequent == serial.frequent
+            assert miner.last_pool_reused is False
+            assert miner.mine(tiny_db).frequent == serial.frequent
+            assert miner.last_pool_reused is False
+
+    def test_close_is_idempotent(self, tiny_db):
+        miner = NativeCountDistribution(0.3, 2)
+        with miner:
+            miner.mine(tiny_db)
+        miner.close()
+        miner.close()
 
 
 class TestPoolClamping:

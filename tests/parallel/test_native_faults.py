@@ -371,11 +371,17 @@ class TestStaleReplies:
         pool._plane = "pickle"  # frame protocol; no shared segments
         parent, child = Pipe()
         try:
-            child.send(("ok", 7, [1, 2, 3]))  # late answer to request 7
-            child.send(("ok", 8, [4, 5, 6]))  # answer to request 8
-            vector, failure = pool._read_reply(parent, 0, 2, 3, seq=8)
+            # Late answer to request 7, then the answer to request 8;
+            # ok-payloads carry (vector, build_s, intersect_s).
+            child.send(("ok", 7, ([1, 2, 3], 0.0, 0.0)))
+            child.send(("ok", 8, ([4, 5, 6], 0.0, 0.0)))
+            vector, failure, _timings = pool._read_reply(
+                parent, 0, 2, 3, seq=8
+            )
             assert (vector, failure) == (None, "stale")
-            vector, failure = pool._read_reply(parent, 0, 2, 3, seq=8)
+            vector, failure, _timings = pool._read_reply(
+                parent, 0, 2, 3, seq=8
+            )
             assert (vector, failure) == ([4, 5, 6], "")
         finally:
             parent.close()
@@ -429,7 +435,7 @@ class TestRandomizedFailures:
 
     def test_reference_kernel_agrees_under_faults(self, tiny_serial):
         db, serial = tiny_serial
-        for kernel in ("reference", "fast"):
+        for kernel in ("reference", "fast", "vertical"):
             miner = NativeCountDistribution(
                 TINY_SUPPORT,
                 3,
@@ -439,6 +445,39 @@ class TestRandomizedFailures:
             )
             result = miner.mine(db)
             assert result.frequent == serial.frequent
+
+    def test_vertical_kernel_kill_mid_pass(self, tiny_serial):
+        """Acceptance: the vertical kernel stays bit-identical under a
+        kill-mid-pass schedule (runs on both planes via the autouse
+        ``data_plane`` fixture).  The respawned replacement starts with
+        a cold bitmap cache and must rebuild, not recover, its state."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            kernel="vertical",
+            faults="kill@0:k2:mid,kill@1:k3",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert [r.worker for r in miner.fault_log] == [0, 1]
+        assert all(r.action == "respawned" for r in miner.fault_log)
+
+    def test_vertical_kernel_adoption_after_refused_spawn(self, tiny_serial):
+        """Adopted holdings get bitmaps built on first use by the
+        adopter — counts must not change."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            kernel="vertical",
+            faults="kill@0:k2,refuse-spawn:9",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].action == "adopted"
 
 
 class TestFaultFreeRunsUnchanged:

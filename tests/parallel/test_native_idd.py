@@ -91,6 +91,17 @@ class TestIddIdentity:
         )
         assert miner.mine(small_quest_db).frequent == quest_serial.frequent
 
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_vertical_kernel_matches(self, small_quest_db, quest_serial,
+                                     plane):
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, kernel="vertical"
+        )
+        assert miner.mine(small_quest_db).frequent == quest_serial.frequent
+        assert any(
+            o.bitmap_build_s > 0 for o in miner.last_pass_overheads
+        )
+
     def test_max_k_caps_passes(self, small_quest_db):
         miner = NativeIntelligentDistribution(SUPPORT, 2, max_k=3)
         result = miner.mine(small_quest_db)
@@ -190,12 +201,15 @@ class TestCountShard:
     def test_empty_bin_returns_empty_vector(self, tiny_partition_db):
         packed = tiny_partition_db.to_packed()
         ring = [(0, len(tiny_partition_db))]
-        vector, shift_s, checked, skipped = _count_shard(
-            packed, [(1, 2), (2, 3)], 0, ring, 2, "fast", 64, 16
+        vector, shift_s, checked, skipped, build_s, intersect_s = (
+            _count_shard(
+                packed, [(1, 2), (2, 3)], 0, ring, 2, "fast", 64, 16
+            )
         )
         assert vector == []
         assert shift_s == 0.0
         assert (checked, skipped) == (0, 0)
+        assert (build_s, intersect_s) == (0.0, 0.0)
 
     def test_bitmap_prunes_everything_outside_owned_range(self):
         # The worker owns first item 1 but every transaction item is
@@ -206,7 +220,7 @@ class TestCountShard:
         db = TransactionDB([(5, 6), (6, 7, 8)])
         packed = db.to_packed()
         bits = ItemBitmap([1]).bits
-        vector, _shift, checked, skipped = _count_shard(
+        vector, _shift, checked, skipped, _build, _inter = _count_shard(
             packed, [(1, 2), (1, 3)], bits, [(0, len(db))], 2, "fast",
             64, 1,
         )
@@ -218,7 +232,7 @@ class TestCountShard:
         db = TransactionDB([(1, 2), (1, 2, 3)])
         packed = db.to_packed()
         bits = ItemBitmap([1, 2]).bits
-        vector, _shift, checked, skipped = _count_shard(
+        vector, _shift, checked, skipped, _build, _inter = _count_shard(
             packed, [(1, 2), (1, 3)], bits, [(0, len(db))], 2, "fast",
             64, 1,
         )
@@ -280,6 +294,21 @@ class TestRecoveryLadder:
         actions = {r.action for r in miner.fault_log}
         assert actions == {"inprocess"}
         assert len(miner.fault_log) == 2
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_vertical_kill_mid_ring(self, small_quest_db, quest_serial,
+                                    plane):
+        """Kill-mid-pass under the vertical kernel: the respawned worker
+        rebuilds its TID bitmaps from scratch and counts must not move."""
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, kernel="vertical",
+            faults="kill@1:k3:mid",
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert [(r.k, r.worker, r.action) for r in miner.fault_log] == [
+            (3, 1, "respawned")
+        ]
 
     def test_hd_grid_survives_kill(self, small_quest_db, quest_serial):
         miner = NativeHybridDistribution(
@@ -349,6 +378,40 @@ class TestRecoveryLadder:
                     assert total == exact
         finally:
             pool.shutdown()
+
+
+class TestWarmPool:
+    """Context-manager pool reuse for the partitioned miners."""
+
+    def test_reuse_within_context(self, small_quest_db, quest_serial):
+        with NativeIntelligentDistribution(SUPPORT, 2) as miner:
+            assert (
+                miner.mine(small_quest_db).frequent
+                == quest_serial.frequent
+            )
+            assert miner.last_pool_reused is False
+            assert (
+                miner.mine(small_quest_db).frequent
+                == quest_serial.frequent
+            )
+            assert miner.last_pool_reused is True
+        assert miner.mine(small_quest_db).frequent == quest_serial.frequent
+        assert miner.last_pool_reused is False
+
+    def test_faulty_run_is_not_reused(self, small_quest_db, quest_serial):
+        with NativeIntelligentDistribution(
+            SUPPORT, 2, faults="kill@1:k3:mid", backoff_base=0.01
+        ) as miner:
+            assert (
+                miner.mine(small_quest_db).frequent
+                == quest_serial.frequent
+            )
+            assert miner.last_pool_reused is False
+            assert (
+                miner.mine(small_quest_db).frequent
+                == quest_serial.frequent
+            )
+            assert miner.last_pool_reused is False
 
 
 class TestPassOverheads:
