@@ -9,13 +9,16 @@ By default the comparison covers the shared-plane per-pass coordinator
 overhead (``native.shared.*.coord_pass_s``) — the zero-copy data
 plane's headline metric — and fails (exit 1) when any key grows more
 than 25% over the baseline.  ``--prefix`` / ``--suffix`` retarget the
-key selection and ``--threshold`` adjusts the allowed drift, so other
-benches can reuse the checker.
+key selection, ``--keys-glob`` replaces it with a single
+:mod:`fnmatch` pattern (e.g. ``'native.*.speedup_vs_serial'`` covers
+the tree-family, IDD and vertical speedups in one invocation), and
+``--threshold`` adjusts the allowed drift, so other benches can reuse
+the checker.
 
 ``--worse`` names the bad direction for the selected keys: ``higher``
 (the default — timings, where growth is a regression) or ``lower``
 (speedups and ratios, where shrinkage is; the nightly workflow gates
-``native.vertical.*.speedup_vs_serial`` this way).  Values that moved
+``native.*.speedup_vs_serial`` this way).  Values that moved
 in the *good* direction never fail: improvements are recorded by
 committing the fresh JSON, not by this gate.
 """
@@ -25,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -52,23 +56,31 @@ def compare(
     suffix: str = DEFAULT_SUFFIX,
     threshold: float = DEFAULT_THRESHOLD,
     worse: str = "higher",
+    keys_glob: Optional[str] = None,
 ) -> List[str]:
     """Return human-readable regression messages (empty = pass).
 
     ``worse`` is the direction that fails: ``"higher"`` for timings
     (values in seconds, printed as ms), ``"lower"`` for speedups and
-    ratios (dimensionless, printed raw).  A key present in the baseline
+    ratios (dimensionless, printed raw).  ``keys_glob``, when given,
+    selects keys with one :func:`fnmatch.fnmatchcase` pattern and
+    overrides ``prefix`` / ``suffix``.  A key present in the baseline
     but missing from the current run is a failure too — a silently
     dropped measurement must not read as green.
     """
     if worse not in ("higher", "lower"):
         raise ValueError(f"worse must be 'higher' or 'lower', got {worse!r}")
-    keys = sorted(
-        k for k in baseline if k.startswith(prefix) and k.endswith(suffix)
-    )
+    if keys_glob is not None:
+        keys = sorted(k for k in baseline if fnmatchcase(k, keys_glob))
+        selection = keys_glob
+    else:
+        keys = sorted(
+            k for k in baseline if k.startswith(prefix) and k.endswith(suffix)
+        )
+        selection = f"{prefix}*{suffix}"
     if not keys:
         return [
-            f"baseline has no keys matching {prefix}*{suffix} — "
+            f"baseline has no keys matching {selection} — "
             "nothing to check"
         ]
     problems: List[str] = []
@@ -119,6 +131,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"key suffix to check (default {DEFAULT_SUFFIX!r})",
     )
     parser.add_argument(
+        "--keys-glob", default=None, metavar="PATTERN",
+        help=(
+            "fnmatch pattern selecting keys (overrides --prefix/--suffix), "
+            "e.g. 'native.*.speedup_vs_serial'"
+        ),
+    )
+    parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="allowed fractional drift from baseline (default 0.25)",
     )
@@ -139,6 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         suffix=args.suffix,
         threshold=args.threshold,
         worse=args.worse,
+        keys_glob=args.keys_glob,
     )
     if problems:
         print("\nregressions detected:", file=sys.stderr)

@@ -109,13 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         type=_kernel_arg,
         default=None,
-        metavar="{reference,fast,vertical}",
+        metavar="{reference,fast,fast-np,vertical}",
         help=(
             "counting kernel: 'reference' (instrumented object hash "
             "tree), 'fast' (flat-array tree + triangular pass-2 "
-            "counter), or 'vertical' (TID-bitmap intersections; serial "
-            "Apriori and native-* algorithms only); counts are "
-            "bit-identical — omit to keep each algorithm's default"
+            "counter), 'fast-np' (numpy-vectorized packed counting; "
+            "falls back to 'vertical' without numpy), or 'vertical' "
+            "(TID-bitmap intersections); 'fast-np' and 'vertical' are "
+            "serial Apriori and native-* only; counts are bit-identical "
+            "— omit to keep each algorithm's default"
         ),
     )
     mine.add_argument(

@@ -12,6 +12,7 @@ from .candidates import (
     generate_candidates_2,
 )
 from .counting import count_naive, count_with_hashtree, support_count
+from .fastnp import FastNumpyCounter, PackedBitmapCache, PackedBitmaps
 from .hashtree import HashTree, HashTreeStats, TreeShape
 from .hashtree_flat import FlatHashTree
 from .kernels import KERNELS, make_counter, validate_kernel
@@ -35,6 +36,7 @@ __all__ = [
     "AssociationRule",
     "CandidatePartition",
     "DBStats",
+    "FastNumpyCounter",
     "FlatHashTree",
     "HashTree",
     "HashTreeStats",
@@ -42,6 +44,8 @@ __all__ = [
     "ItemBitmap",
     "Itemset",
     "KERNELS",
+    "PackedBitmapCache",
+    "PackedBitmaps",
     "PairCounter",
     "PassTrace",
     "StreamingApriori",

@@ -1,0 +1,607 @@
+"""Vectorized tree-family counting kernel (``kernel="fast-np"``).
+
+The hash-tree kernels walk every transaction through the candidate tree
+in the interpreter; the vertical kernel removed that loop with CPython
+big-integer bitmaps.  This module removes it with :mod:`numpy` batch
+operations instead, which also lets the candidate set live as one flat
+int32 matrix — exactly the binary frame the native pool's shared
+candidate plane broadcasts, so a worker can count *straight out of the
+shared segment* without ever materializing candidate tuples:
+
+* :class:`PackedBitmaps` — one pass over a :class:`~repro.core.packed.
+  PackedDB` range builds a packed presence **bit-matrix**: row ``r`` is
+  the TID bitmap of the range's ``r``-th distinct item, eight
+  transactions per byte.  Like the vertical kernel's bitmaps they are
+  candidate- and pass-independent, so long-lived holders reuse them
+  across passes via :class:`PackedBitmapCache`.
+* :class:`FastNumpyCounter` — candidates as one ``(num, k)`` int32/64
+  matrix.  Counting maps every candidate item to its bitmap row with one
+  ``np.searchsorted`` over the sorted distinct-item table, ANDs the
+  gathered rows chunk-wise (sharing the work of equal ``k-1`` prefixes:
+  contiguous runs of candidates with the same prefix — the normal shape
+  of a sorted apriori_gen batch — pay the prefix AND once), and reduces
+  each row with a popcount into an int64 count vector.  No
+  per-transaction or per-candidate interpreter loop remains.
+
+Counts are bit-identical to :class:`~repro.core.hashtree.HashTree` on
+every input (property-tested in ``tests/core/test_fastnp.py``): a
+candidate's AND row has bit ``t`` set for exactly the transactions whose
+item set contains all its items — the tree's superset test.
+
+**Numpy is optional.**  The module imports cleanly without it;
+:data:`HAVE_NUMPY` tells the kernel facade to fall back to the
+pure-python vertical machinery (:class:`~repro.core.vertical.
+VerticalCounter` + :class:`~repro.core.vertical.TidBitmapCache`), which
+shares the count-surface contract and the bit-identical guarantee.
+:func:`make_cache` returns whichever cross-pass cache matches the
+active implementation, so drivers never branch on the import themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Container,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .hashtree import TreeShape
+from .items import Itemset
+from .packed import _CAND_HEADER
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY monkeypatch tests
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - CI's no-numpy leg
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "PackedBitmaps",
+    "PackedBitmapCache",
+    "FastNumpyCounter",
+    "make_cache",
+]
+
+# Candidates ANDed per batch: large enough to amortize the per-chunk
+# numpy dispatch, small enough that the three transient (chunk, nbytes)
+# row buffers stay comfortably in cache.
+_CHUNK = 2048
+
+if HAVE_NUMPY:
+    _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+    # Byte-popcount table for numpy < 2.0 (no np.bitwise_count).
+    _POPCOUNT_LUT = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+
+def make_cache():
+    """The cross-pass bitmap cache matching the active implementation.
+
+    :class:`PackedBitmapCache` with numpy, the vertical kernel's
+    :class:`~repro.core.vertical.TidBitmapCache` without — paired with
+    what :func:`~repro.core.kernels.make_counter` returns for
+    ``kernel="fast-np"`` in the same interpreter.
+    """
+    if HAVE_NUMPY:
+        return PackedBitmapCache()
+    from .vertical import TidBitmapCache
+
+    return TidBitmapCache()
+
+
+def _popcount_rows(acc) -> "np.ndarray":
+    """Per-row popcount of a uint8 matrix, as int64."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(acc).sum(axis=1, dtype=np.int64)
+    return _POPCOUNT_LUT[acc].sum(axis=1, dtype=np.int64)
+
+
+class PackedBitmaps:
+    """Per-item TID bitmaps over one transaction range, as a bit-matrix.
+
+    ``rows[r]`` is the packed (little bit-order: bit ``t`` of byte ``b``
+    is relative transaction ``8 b + t``) presence bitmap of
+    ``item_ids[r]``; ``item_ids`` is sorted, so an item maps to its row
+    with one ``np.searchsorted``.  Items absent from the range have no
+    row (their bitmap is all-zero by construction).
+    """
+
+    __slots__ = ("item_ids", "rows", "num_transactions", "build_s")
+
+    def __init__(self, item_ids, rows, num_transactions: int,
+                 build_s: float = 0.0):
+        self.item_ids = item_ids
+        self.rows = rows
+        self.num_transactions = num_transactions
+        self.build_s = build_s
+
+    @classmethod
+    def _build(cls, seg_items, tx_ids, n: int, started: float
+               ) -> "PackedBitmaps":
+        """Assemble the bit-matrix from flat (item, transaction) pairs.
+
+        Builds a transient ``(distinct_items, n)`` bool matrix and packs
+        it — O(items x transactions) bytes of scratch, freed on return.
+        """
+        if seg_items.size and n:
+            item_ids = np.unique(seg_items)
+            col = np.searchsorted(item_ids, seg_items)
+            present = np.zeros((item_ids.size, n), dtype=bool)
+            present[col, tx_ids] = True
+            rows = np.packbits(present, axis=1, bitorder="little")
+        else:
+            item_ids = np.zeros(0, dtype=np.int64)
+            rows = np.zeros((0, (n + 7) >> 3), dtype=np.uint8)
+        return cls(item_ids, rows, n, time.perf_counter() - started)
+
+    @classmethod
+    def from_packed(
+        cls, packed, lo: int = 0, hi: Optional[int] = None
+    ) -> "PackedBitmaps":
+        """Build bitmaps from transactions ``[lo, hi)`` of a packed store.
+
+        One vectorized pass over the int32 columns; identical for
+        array-backed and shared-memory ``memoryview``-backed stores (the
+        views are read, never retained).
+        """
+        started = time.perf_counter()
+        if hi is None:
+            hi = len(packed)
+        n = hi - lo
+        if n <= 0:
+            return cls._build(
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.intp),
+                max(n, 0), started,
+            )
+        offsets = np.asarray(packed.offsets)[lo:hi + 1].astype(np.int64)
+        seg_items = np.asarray(packed.items)[offsets[0]:offsets[-1]]
+        tx_ids = np.repeat(np.arange(n, dtype=np.intp), np.diff(offsets))
+        return cls._build(seg_items, tx_ids, n, started)
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Iterable[Sequence[int]]
+    ) -> "PackedBitmaps":
+        """Build bitmaps from an iterable of item sequences."""
+        started = time.perf_counter()
+        flat: List[int] = []
+        lengths: List[int] = []
+        for transaction in transactions:
+            flat.extend(transaction)
+            lengths.append(len(transaction))
+        n = len(lengths)
+        seg_items = np.array(flat, dtype=np.int64)
+        tx_ids = np.repeat(
+            np.arange(n, dtype=np.intp), np.array(lengths, dtype=np.int64)
+        )
+        return cls._build(seg_items, tx_ids, n, started)
+
+    def bits_for(self, item: int) -> "np.ndarray":
+        """Packed bitmap row of ``item`` (all-zero when absent)."""
+        row = np.searchsorted(self.item_ids, item)
+        if row < self.item_ids.size and self.item_ids[row] == item:
+            return self.rows[row]
+        return np.zeros(self.rows.shape[1], dtype=np.uint8)
+
+
+class PackedBitmapCache:
+    """Per-process bit-matrix cache, keyed on the data a worker holds.
+
+    The numpy twin of :class:`~repro.core.vertical.TidBitmapCache`:
+    native-pool workers persist across passes while counters are rebuilt
+    (or reset) every pass, so the cache lives in the worker loop and
+    hands each pass the matrices built on the first pass over the same
+    range.  Entries pin their source object, so the ``id()`` keys cannot
+    be recycled while an entry is alive.
+    """
+
+    def __init__(self) -> None:
+        self._packed: Dict[Tuple[int, int, int],
+                           Tuple[object, PackedBitmaps]] = {}
+        self._blocks: Dict[int, Tuple[object, PackedBitmaps]] = {}
+
+    def for_packed(
+        self, packed, lo: int = 0, hi: Optional[int] = None
+    ) -> PackedBitmaps:
+        """Bitmaps for packed range ``[lo, hi)``, built at most once."""
+        if hi is None:
+            hi = len(packed)
+        key = (id(packed), lo, hi)
+        entry = self._packed.get(key)
+        if entry is None or entry[0] is not packed:
+            entry = (packed, PackedBitmaps.from_packed(packed, lo, hi))
+            self._packed[key] = entry
+        return entry[1]
+
+    def for_block(self, block: Sequence[Sequence[int]]) -> PackedBitmaps:
+        """Bitmaps for a transaction block, built at most once."""
+        key = id(block)
+        entry = self._blocks.get(key)
+        if entry is None or entry[0] is not block:
+            entry = (block, PackedBitmaps.from_transactions(block))
+            self._blocks[key] = entry
+        return entry[1]
+
+    def clear(self) -> None:
+        self._packed.clear()
+        self._blocks.clear()
+
+
+class FastNumpyCounter:
+    """Support counter over batched bit-matrix intersections.
+
+    The public surface mirrors :class:`~repro.core.vertical.
+    VerticalCounter` (and through it the hash trees), so the kernel
+    facade hands any of them to the same driver code; counts accumulate
+    across ``count_*`` calls (the CD reduction invariant).
+
+    Two extra constructors serve the shared candidate plane:
+    :meth:`from_matrix` wraps an existing ``(num, k)`` candidate matrix
+    and :meth:`from_flat` decodes one straight from a binary candidate
+    frame (:func:`~repro.core.packed.write_candidates_into` layout) —
+    both zero-copy, deferring tuple materialization until a dict-shaped
+    method actually needs it, so a pool worker counting out of the
+    shared segment never builds 40k tuples at all
+    (:meth:`counts_vector` returns the plane-order vector directly, and
+    :meth:`first_item_mask` / :meth:`counts_for` give IDD shards their
+    ownership view of the shared matrix).
+
+    Attributes:
+        build_s: seconds building (or fetching from the cache) the
+            bit-matrices across all ``count_packed`` /
+            ``count_database`` calls.
+        intersect_s: seconds gathering, ANDing and popcounting.
+    """
+
+    def __init__(self, k: int, candidates: Sequence[Itemset] = ()):
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "FastNumpyCounter requires numpy; use "
+                "make_counter(kernel='fast-np') which falls back to the "
+                "pure-python vertical machinery when numpy is absent"
+            )
+        if k < 1:
+            raise ValueError(f"candidate size must be >= 1, got {k}")
+        self.k = k
+        self._tuples: Optional[List[Itemset]] = []
+        self._index: Optional[Dict[Itemset, int]] = {}
+        self._matrix = None
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._cache: Optional[PackedBitmapCache] = None
+        self.build_s = 0.0
+        self.intersect_s = 0.0
+        self.insert_all(candidates)
+
+    # ------------------------------------------------------------------
+    # Plane constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_matrix(cls, k: int, matrix) -> "FastNumpyCounter":
+        """Wrap an existing ``(num, k)`` candidate matrix — zero-copy.
+
+        Rows must be canonical (sorted, distinct-item) candidates; their
+        order defines slot order.  The matrix (typically a view into a
+        shared candidate segment) must outlive the counter.
+        """
+        if matrix.ndim != 2 or matrix.shape[1] != k:
+            raise ValueError(
+                f"candidate matrix of shape {matrix.shape} does not hold "
+                f"size-{k} candidates"
+            )
+        counter = cls(k)
+        counter._tuples = None
+        counter._index = None
+        counter._matrix = matrix
+        counter._counts = np.zeros(matrix.shape[0], dtype=np.int64)
+        return counter
+
+    @classmethod
+    def from_flat(cls, buf) -> "FastNumpyCounter":
+        """Decode a binary candidate frame into a counter — zero-copy.
+
+        ``buf`` is a buffer laid out by :func:`~repro.core.packed.
+        write_candidates_into` (e.g. a shared candidate segment's
+        ``buf``); the candidate matrix is a view into it, so the buffer
+        must outlive the counter.
+        """
+        num, k = _CAND_HEADER.unpack_from(buf, 0)
+        matrix = np.frombuffer(
+            buf, dtype=np.dtype("<i4"), count=num * k,
+            offset=_CAND_HEADER.size,
+        ).reshape(num, k)
+        return cls.from_matrix(k, matrix)
+
+    # ------------------------------------------------------------------
+    # Candidate storage
+    # ------------------------------------------------------------------
+
+    def _ensure_index(self) -> Dict[Itemset, int]:
+        """Materialize tuples/index from a matrix-only counter (lazy)."""
+        if self._index is None:
+            self._tuples = [
+                tuple(int(item) for item in row) for row in self._matrix
+            ]
+            self._index = {c: i for i, c in enumerate(self._tuples)}
+        return self._index
+
+    def _ensure_matrix(self):
+        """The ``(num, k)`` candidate matrix, built from tuples on demand."""
+        if self._matrix is None:
+            self._matrix = np.array(
+                self._tuples, dtype=np.int64
+            ).reshape(len(self._tuples), self.k)
+        return self._matrix
+
+    def _ensure_counts(self):
+        """The int64 count vector, grown lazily to the candidate count.
+
+        ``insert`` never reallocates it (appending per candidate would
+        make bulk insertion quadratic); readers and counters size it
+        here, preserving already-accumulated counts.
+        """
+        num = len(self)
+        if self._counts.shape[0] != num:
+            grown = np.zeros(num, dtype=np.int64)
+            grown[: self._counts.shape[0]] = self._counts
+            self._counts = grown
+        return self._counts
+
+    def insert(self, candidate: Itemset) -> None:
+        """Store a canonical size-``k`` candidate (duplicates ignored)."""
+        if len(candidate) != self.k:
+            raise ValueError(
+                f"candidate {candidate!r} has size {len(candidate)}, "
+                f"expected {self.k}"
+            )
+        index = self._ensure_index()
+        if candidate not in index:
+            index[candidate] = len(self._tuples)
+            self._tuples.append(candidate)
+            self._matrix = None  # rebuilt from tuples on the next count
+
+    def insert_all(self, candidates: Iterable[Itemset]) -> None:
+        for candidate in candidates:
+            self.insert(candidate)
+
+    def use_cache(self, cache: Optional[PackedBitmapCache]) -> None:
+        """Fetch bit-matrices through ``cache`` instead of per call."""
+        self._cache = cache
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._tuples is not None:
+            return len(self._tuples)
+        return int(self._matrix.shape[0])
+
+    def __contains__(self, candidate: Itemset) -> bool:
+        return candidate in self._ensure_index()
+
+    def candidates(self) -> Iterator[Itemset]:
+        """Iterate over stored candidates (slot order)."""
+        self._ensure_index()
+        return iter(self._tuples)
+
+    def get_count(self, candidate: Itemset) -> int:
+        return int(self._ensure_counts()[self._ensure_index()[candidate]])
+
+    def counts(self) -> Dict[Itemset, int]:
+        self._ensure_index()
+        counts = self._ensure_counts().tolist()
+        return {c: counts[i] for i, c in enumerate(self._tuples)}
+
+    def frequent(self, min_count: int) -> Dict[Itemset, int]:
+        self._ensure_index()
+        counts = self._ensure_counts()
+        return {
+            self._tuples[i]: int(counts[i])
+            for i in np.flatnonzero(counts >= min_count)
+        }
+
+    def counts_vector(self) -> List[int]:
+        """All counts in slot (candidate-list) order — no tuples built."""
+        return self._ensure_counts().tolist()
+
+    def counts_for(self, mask) -> List[int]:
+        """Counts of the candidates selected by a bool ``mask``, in order.
+
+        With a :meth:`first_item_mask` this is an IDD shard's count
+        vector: slot order restricted to owned candidates equals the
+        coordinator's sorted-shard order.
+        """
+        return self._ensure_counts()[mask].tolist()
+
+    def first_item_mask(self, container: Container[int]):
+        """Bool mask of candidates whose first item is in ``container``.
+
+        Each *distinct* first item is tested exactly once (so a tallying
+        filter sees one check per owned-or-not first item, not one per
+        candidate), then broadcast back over the candidate axis.
+        """
+        matrix = self._ensure_matrix()
+        if matrix.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        firsts, inverse = np.unique(matrix[:, 0], return_inverse=True)
+        allowed = np.fromiter(
+            (int(item) in container for item in firsts),
+            dtype=bool, count=firsts.size,
+        )
+        return allowed[inverse]
+
+    def shape(self) -> TreeShape:
+        """Degenerate shape: the candidate matrix is one flat 'leaf'."""
+        num = len(self)
+        return TreeShape(
+            num_candidates=num,
+            num_leaves=1,
+            num_internal=0,
+            max_depth=0,
+            avg_candidates_per_leaf=float(num),
+        )
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+
+    def count_bitmaps(
+        self,
+        bitmaps: PackedBitmaps,
+        root_filter=None,
+    ) -> None:
+        """Accumulate each candidate's AND-popcount over ``bitmaps``.
+
+        ``root_filter`` keeps the hash-tree contract — only candidates
+        whose first item passes are counted; it may be any container or
+        a precomputed :meth:`first_item_mask` bool array (the IDD shard
+        path, which tests ownership once per pass, not once per ring
+        step).
+        """
+        started = time.perf_counter()
+        try:
+            self._count_batches(bitmaps, root_filter)
+        finally:
+            self.intersect_s += time.perf_counter() - started
+
+    def _count_batches(self, bitmaps: PackedBitmaps, root_filter) -> None:
+        matrix = self._ensure_matrix()
+        num = matrix.shape[0]
+        if num == 0 or bitmaps.num_transactions == 0:
+            return
+        selected = None
+        if root_filter is not None:
+            if isinstance(root_filter, np.ndarray):
+                selected = root_filter
+            else:
+                selected = self.first_item_mask(root_filter)
+            if not selected.any():
+                return
+        item_ids = bitmaps.item_ids
+        if item_ids.size == 0:
+            return  # no item present in the range: every count is +0
+        # One sorted-membership probe maps every candidate item to its
+        # bitmap row; rows are clipped for the equality check and any
+        # candidate with an absent item contributes zero (skipped).
+        pos = np.searchsorted(item_ids, matrix)
+        np.minimum(pos, item_ids.size - 1, out=pos)
+        valid = (item_ids[pos] == matrix).all(axis=1)
+        if selected is not None:
+            valid &= selected
+        hits = np.flatnonzero(valid)
+        if hits.size == 0:
+            return
+        rows = bitmaps.rows
+        k = self.k
+        counts = self._ensure_counts()
+        for start in range(0, hits.size, _CHUNK):
+            chunk = hits[start:start + _CHUNK]
+            gathered = pos[chunk]
+            if k == 1:
+                acc = rows[gathered[:, 0]]
+            elif k == 2:
+                acc = rows[gathered[:, 0]] & rows[gathered[:, 1]]
+            else:
+                # Prefix-run sharing: contiguous candidates with equal
+                # (k-1)-prefixes (the shape of a sorted apriori_gen
+                # batch) AND their prefix once, then each pays a single
+                # AND with its last item's row.
+                prefix = gathered[:, :k - 1]
+                new_run = np.empty(chunk.size, dtype=bool)
+                new_run[0] = True
+                np.any(prefix[1:] != prefix[:-1], axis=1, out=new_run[1:])
+                run_starts = np.flatnonzero(new_run)
+                pre = rows[prefix[run_starts, 0]]
+                for j in range(1, k - 1):
+                    pre = pre & rows[prefix[run_starts, j]]
+                group = np.cumsum(new_run) - 1
+                acc = pre[group] & rows[gathered[:, k - 1]]
+            counts[chunk] += _popcount_rows(acc)
+
+    def count_packed(
+        self,
+        packed,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        root_filter=None,
+    ) -> None:
+        """Count transactions ``[lo, hi)`` of a packed columnar store."""
+        if hi is None:
+            hi = len(packed)
+        started = time.perf_counter()
+        if self._cache is not None:
+            bitmaps = self._cache.for_packed(packed, lo, hi)
+        else:
+            bitmaps = PackedBitmaps.from_packed(packed, lo, hi)
+        self.build_s += time.perf_counter() - started
+        self.count_bitmaps(bitmaps, root_filter)
+
+    def count_database(
+        self,
+        transactions: Iterable[Sequence[int]],
+        root_filter=None,
+    ) -> None:
+        """Build (or fetch) bit-matrices for ``transactions`` and count."""
+        started = time.perf_counter()
+        if self._cache is not None and isinstance(transactions, (list, tuple)):
+            bitmaps = self._cache.for_block(transactions)
+        else:
+            bitmaps = PackedBitmaps.from_transactions(transactions)
+        self.build_s += time.perf_counter() - started
+        self.count_bitmaps(bitmaps, root_filter)
+
+    def count_transaction(
+        self,
+        transaction: Sequence[int],
+        root_filter: Optional[Container[int]] = None,
+    ) -> None:
+        """Count one transaction (API-compat fallback; set-superset).
+
+        Single transactions have no matrix to batch, so this is the
+        direct subset test — still bit-identical to the tree kernels.
+        """
+        present = set(transaction)
+        counts = self._ensure_counts()
+        for candidate, slot in self._ensure_index().items():
+            if root_filter is not None and candidate[0] not in root_filter:
+                continue
+            if present.issuperset(candidate):
+                counts[slot] += 1
+
+    # ------------------------------------------------------------------
+    # Count-table manipulation
+    # ------------------------------------------------------------------
+
+    def add_counts(self, other_counts: Dict[Itemset, int]) -> None:
+        """Element-wise add a count table into this counter's counts.
+
+        Raises ``KeyError`` naming the diverging candidate if
+        ``other_counts`` contains a candidate this counter does not
+        store.
+        """
+        counts = self._ensure_counts()
+        index = self._ensure_index()
+        for candidate, count in other_counts.items():
+            slot = index.get(candidate)
+            if slot is None:
+                raise KeyError(
+                    f"add_counts: candidate {candidate!r} is not stored in "
+                    f"this fast-np counter ({len(index)} candidates) — "
+                    "count tables diverged"
+                )
+            counts[slot] += count
+
+    def reset_counts(self) -> None:
+        """Zero all counts (candidates, matrix and cache wiring kept)."""
+        self._ensure_counts()[:] = 0

@@ -12,6 +12,16 @@ kernel:
   :class:`repro.core.pass2.PairCounter` for the dense pass-2 candidate
   set.  Counts are bit-identical to the reference kernel on every
   input; only the work counters are absent.
+* **fast-np** — :class:`repro.core.fastnp.FastNumpyCounter`: the tree
+  family's candidates as one flat ``(num, k)`` matrix, counted with
+  numpy batch operations over packed per-item bit-matrices
+  (:class:`~repro.core.fastnp.PackedBitmaps`, reusable across passes
+  via :class:`~repro.core.fastnp.PackedBitmapCache`) — no
+  per-transaction or per-candidate interpreter loop.  Counts are
+  bit-identical to the reference kernel.  When numpy is absent
+  (:data:`repro.core.fastnp.HAVE_NUMPY` is false) the selector quietly
+  falls back to the pure-python vertical machinery, which keeps the
+  same surface and the same counts.
 * **vertical** — :class:`repro.core.vertical.VerticalCounter`:
   Eclat-style per-item TID bitmaps intersected per candidate and
   popcounted with CPython big integers.  No per-transaction traversal
@@ -34,6 +44,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from . import fastnp
+from .fastnp import FastNumpyCounter
 from .hashtree import HashTree
 from .hashtree_flat import FlatHashTree
 from .items import Itemset
@@ -48,9 +60,9 @@ __all__ = [
     "Counter",
 ]
 
-KERNELS = ("reference", "fast", "vertical")
+KERNELS = ("reference", "fast", "fast-np", "vertical")
 
-Counter = Union[HashTree, FlatHashTree, PairCounter, VerticalCounter]
+Counter = Union[HashTree, FlatHashTree, PairCounter, FastNumpyCounter, VerticalCounter]
 
 # A triangular pass-2 counter allocates one slot per item pair in the
 # span of the candidates.  apriori_gen's C2 fills the triangle exactly
@@ -65,7 +77,7 @@ def validate_kernel(kernel: str) -> str:
 
     Raises:
         ValueError: for anything other than ``"reference"``, ``"fast"``,
-            or ``"vertical"``.
+            ``"fast-np"``, or ``"vertical"``.
     """
     if kernel not in KERNELS:
         known = ", ".join(repr(k) for k in KERNELS)
@@ -87,14 +99,16 @@ def make_counter(
         k: candidate size (the pass number).
         candidates: canonical candidates of size ``k``.
         kernel: ``"reference"`` (instrumented object tree), ``"fast"``
-            (flat tree; triangular pair counter for a dense C2), or
-            ``"vertical"`` (TID-bitmap intersections).
+            (flat tree; triangular pair counter for a dense C2),
+            ``"fast-np"`` (numpy batch counting over the candidate
+            matrix; vertical fallback without numpy), or ``"vertical"``
+            (TID-bitmap intersections).
         branching / leaf_capacity: hash tree geometry (ignored by the
-            pair counter and the vertical counter).
+            pair counter and the matrix/bitmap counters).
         needs_root_filter: the caller will pass ``root_filter`` when
             counting (IDD-style pruning); forces a kernel with a root
-            level, since the pair counter has none.  The vertical
-            kernel filters per candidate and qualifies.
+            level, since the pair counter has none.  The fast-np and
+            vertical kernels filter on first items and qualify.
 
     Returns:
         A counter exposing the shared counting surface.
@@ -104,6 +118,12 @@ def make_counter(
         tree = HashTree(k, branching=branching, leaf_capacity=leaf_capacity)
         tree.insert_all(candidates)
         return tree
+    if kernel == "fast-np":
+        # HAVE_NUMPY is read at call time (not import time) so tests can
+        # force the fallback path by monkeypatching the flag.
+        if fastnp.HAVE_NUMPY:
+            return FastNumpyCounter(k, candidates)
+        return VerticalCounter(k, candidates)
     if kernel == "vertical":
         return VerticalCounter(k, candidates)
     if k == 2 and candidates and not needs_root_filter:

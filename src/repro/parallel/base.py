@@ -402,16 +402,17 @@ class ParallelMiner(ABC):
         therefore every derived simulated timing) are bit-identical.
 
         Raises:
-            ValueError: for ``kernel="vertical"`` — bitmap intersection
-                performs none of the tree traversals the Section IV
+            ValueError: for ``kernel="vertical"`` or ``kernel="fast-np"``
+                — bitmap intersection and vectorized batch counting
+                perform none of the tree traversals the Section IV
                 cost model prices, so the simulated formulations cannot
-                time it.  The vertical kernel is for real mining only
+                time them.  Those kernels are for real mining only
                 (serial :class:`~repro.core.apriori.Apriori` and the
                 native pool).
         """
-        if self.kernel == "vertical":
+        if self.kernel in ("vertical", "fast-np"):
             raise ValueError(
-                "kernel='vertical' is not available in the simulated "
+                f"kernel={self.kernel!r} is not available in the simulated "
                 "formulations (no instrumented traversal to price); use "
                 "a native-* algorithm or serial Apriori"
             )

@@ -81,6 +81,7 @@ from multiprocessing import get_context, shared_memory
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import fastnp
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.candidates import generate_candidates
 from ..core.items import Itemset
@@ -174,6 +175,18 @@ class PassOverhead:
       pass on, which is the cross-pass reuse showing up in the data;
     * ``intersect_s`` — seconds intersecting candidate bitmaps and
       popcounting.
+
+    The shared candidate plane fills the last two (zero on the pickle
+    plane, where candidates are pickled per worker into
+    ``broadcast_s``):
+
+    * ``cand_build_s`` — coordinator seconds encoding the pass's
+      candidates into (or recognizing them already present in) the
+      shared candidate segment — once per pass, not per worker;
+    * ``cand_attach_s`` — the slowest worker's seconds attaching and
+      decoding the candidate segment (max across workers, like
+      ``shift_s``); near-zero when the worker's cached plane counter
+      for that segment is reused, e.g. every warm-pool re-mine.
     """
 
     k: int
@@ -187,6 +200,8 @@ class PassOverhead:
     prune_skipped: int = 0
     bitmap_build_s: float = 0.0
     intersect_s: float = 0.0
+    cand_build_s: float = 0.0
+    cand_attach_s: float = 0.0
 
     @property
     def coordinator_s(self) -> float:
@@ -248,8 +263,17 @@ class _SharedSegments:
       entries each; worker ``w`` writes its pass vector at slot ``w``.
       Grown (power-of-two) when a pass's candidate count exceeds the
       capacity; the outgrown segment is unlinked immediately.
-    * **candidates** — one segment per pass holding the binary candidate
-      frame; publishing pass ``k + 1`` retires pass ``k``'s segment.
+    * **candidates** — one segment per *pass number* holding that pass's
+      binary candidate frame, retained for the pool's lifetime: workers
+      key their cached plane counters on the segment name, and a
+      warm-pool re-mine that republishes byte-identical candidates for
+      pass ``k`` gets pass ``k``'s existing segment (and therefore every
+      worker's cached counter) back instead of a fresh one.  A pass
+      whose candidates *differ* from what its segment holds gets a new
+      segment and the stale one is unlinked — a name never refers to two
+      different candidate sets.  The retained planes cost one frame per
+      pass (``16 + 4 * num * k`` bytes, a few MB at bench scale) on top
+      of the store.
 
     Every created segment is tracked in ``_live`` and :meth:`close`
     unlinks whatever remains — exactly once, idempotently — so both the
@@ -263,7 +287,7 @@ class _SharedSegments:
         self.num_slots = num_slots
         self.counts_capacity = 0
         self._counts_name: Optional[str] = None
-        self._cand_name: Optional[str] = None
+        self._cand_names: Dict[int, str] = {}
         try:
             store = self._create("db", packed_nbytes(packed))
             write_packed_into(packed, store.buf)
@@ -301,17 +325,30 @@ class _SharedSegments:
     def publish_candidates(self, k: int, candidates: Sequence[Itemset]) -> str:
         """Write one pass's candidates as a binary frame; return the name.
 
-        The previous pass's segment (if any) is retired first, so at
-        most one candidate segment is ever live.
+        Pass ``k``'s segment is retained for the pool's lifetime and
+        *reused* when the frame being published is byte-identical to
+        what it already holds (the warm-pool re-mine case) — same name
+        back means workers keep their cached plane counters.  A
+        different frame for the same ``k`` retires the old segment and
+        publishes under a fresh name, so a segment name is permanently
+        bound to one candidate set.
         """
-        if self._cand_name is not None:
-            self._unlink(self._cand_name)
-            self._cand_name = None
-        segment = self._create(
-            f"c{k}", candidates_nbytes(len(candidates), k)
-        )
-        write_candidates_into(candidates, k, segment.buf)
-        self._cand_name = segment.name
+        nbytes = candidates_nbytes(len(candidates), k)
+        frame = bytearray(nbytes)
+        write_candidates_into(candidates, k, frame)
+        name = self._cand_names.get(k)
+        if name is not None:
+            segment = self._live.get(name)
+            # The header (num, k) makes frames of different candidate
+            # counts differ in their first bytes, so the prefix compare
+            # is exact even though segment sizes are page-rounded.
+            if segment is not None and segment.buf[:nbytes] == frame:
+                return name
+            self._unlink(name)
+            del self._cand_names[k]
+        segment = self._create(f"c{k}", nbytes)
+        segment.buf[:nbytes] = frame
+        self._cand_names[k] = segment.name
         return segment.name
 
     def ensure_counts(self, num_candidates: int) -> Tuple[str, int]:
@@ -342,7 +379,7 @@ class _SharedSegments:
         self._closed = True
         for name in list(self._live):
             self._unlink(name)
-        self._cand_name = None
+        self._cand_names.clear()
         self._counts_name = None
 
 
@@ -368,11 +405,13 @@ def _count_holdings_vector(
     plane.  Shared by the worker loop and the parent's in-process
     degradation path, so both produce identical counts by construction.
 
-    ``cache`` is the holder's cross-pass :class:`TidBitmapCache`; only
-    the vertical kernel consults it (bitmaps depend on the data range,
-    not on ``k``, so a persistent worker builds them once).  Returns
-    ``(vector, build_s, intersect_s)`` — the bitmap timings are zero
-    for the tree kernels.
+    ``cache`` is the holder's cross-pass bitmap cache
+    (:class:`TidBitmapCache`, or the fast-np kernel's
+    :class:`~repro.core.fastnp.PackedBitmapCache`); only the bitmap
+    kernels consult it (bitmaps depend on the data range, not on ``k``,
+    so a persistent worker builds them once).  Returns ``(vector,
+    build_s, intersect_s)`` — the bitmap timings are zero for the tree
+    kernels.
     """
     counter = make_counter(
         k,
@@ -381,7 +420,7 @@ def _count_holdings_vector(
         branching=branching,
         leaf_capacity=leaf_capacity,
     )
-    if cache is not None and kernel == "vertical":
+    if cache is not None and kernel in ("vertical", "fast-np"):
         counter.use_cache(cache)
     if packed is None:
         for block in holdings:
@@ -424,27 +463,37 @@ def _worker_main(
 
     ``payload`` carries the candidates: the pickled list on the pickle
     plane, or ``(cand_name, num_candidates, counts_name,
-    counts_capacity)`` on the shared plane — the worker reads the
-    candidate segment (one binary decode, no pickling) and writes its
-    vector into its slot of the counts segment.
+    counts_capacity)`` on the shared plane — the worker attaches the
+    candidate segment by name and writes its vector into its slot of
+    the counts segment.  Shared candidate segments are decoded **at
+    most once per name**: the result (a zero-copy
+    :class:`~repro.core.fastnp.FastNumpyCounter` over the segment's
+    candidate matrix under ``kernel="fast-np"`` with numpy, the decoded
+    tuple list otherwise) is cached keyed on the segment name, which
+    the coordinator permanently binds to one candidate set — so
+    re-counting the same pass (warm-pool re-mines) costs no attach, no
+    decode and no counter rebuild.
 
     Reply frames (worker → parent): ``("ok", seq, (body, build_s,
-    intersect_s))`` — ``body`` is the count vector on the pickle plane
-    and the number of counts written on the shared plane, and the two
-    timings are the worker's vertical-kernel bitmap build/intersection
-    seconds (zero under the tree kernels) — or ``("error", seq,
-    message)`` when counting raised — the parent surfaces the message
-    instead of seeing a silent death.  Every reply echoes the request's
-    ``seq``, so the parent can tell a reply to the frame it just sent
-    from a late reply to an earlier frame (a slow worker's stale pass
-    reply must never be read as an adopt result).
+    intersect_s, attach_s))`` — ``body`` is the count vector on the
+    pickle plane and the number of counts written on the shared plane;
+    ``build_s``/``intersect_s`` are the worker's bitmap-kernel build and
+    intersection seconds (zero under the pure tree kernels) and
+    ``attach_s`` its candidate-plane attach+decode seconds (zero on the
+    pickle plane and on cache hits) — or ``("error", seq, message)``
+    when counting raised — the parent surfaces the message instead of
+    seeing a silent death.  Every reply echoes the request's ``seq``, so
+    the parent can tell a reply to the frame it just sent from a late
+    reply to an earlier frame (a slow worker's stale pass reply must
+    never be read as an adopt result).
 
-    Workers persist across passes, so the loop owns one
-    :class:`TidBitmapCache`: the vertical kernel builds each held
-    range's bitmaps on its first pass and every later pass intersects
-    cached ones.  A respawned replacement simply starts cold, and an
-    adopter builds the adopted ranges' bitmaps on first use — no bitmap
-    state needs recovering.
+    Workers persist across passes, so the loop owns one cross-pass
+    bitmap cache (:class:`TidBitmapCache` for the vertical kernel,
+    :func:`repro.core.fastnp.make_cache` for fast-np): the bitmap
+    kernels build each held range's bitmaps on its first pass and every
+    later pass intersects cached ones.  A respawned replacement simply
+    starts cold, and an adopter builds the adopted ranges' bitmaps on
+    first use — no bitmap state needs recovering.
 
     ``fault_events`` are this worker's injected failures from a
     :class:`~repro.faults.FaultSpec`; each fires once.
@@ -472,7 +521,18 @@ def _worker_main(
         # exit; the coordinator owns the unlink).
         store_segment = _attach_segment(store_name)
         packed = packed_from_buffer(store_segment.buf)
-    cache = TidBitmapCache() if kernel == "vertical" else None
+    if kernel == "vertical":
+        cache = TidBitmapCache()
+    elif kernel == "fast-np":
+        cache = fastnp.make_cache()
+    else:
+        cache = None
+    # Candidate-plane cache: segment name → (pinned segment or None,
+    # plane counter or None, decoded tuples or None).  The coordinator
+    # never rebinds a name to different candidates, so entries are valid
+    # for the worker's lifetime; one entry per published plane (bounded
+    # by passes per pool lifetime).
+    plane_counters: Dict[str, Tuple] = {}
 
     try:
         while True:
@@ -486,12 +546,31 @@ def _worker_main(
             else:
                 _, seq, k, payload = message
                 count_holdings = holdings
+            plane_counter = None
+            attach_s = 0.0
             if shared:
                 cand_name, _num, cnt_name, cnt_capacity = payload
-                cand_segment = _attach_segment(cand_name)
-                frame = bytes(cand_segment.buf)
-                cand_segment.close()
-                _, candidates = candidates_from_bytes(frame)
+                tick = time.perf_counter()
+                entry = plane_counters.get(cand_name)
+                if entry is None:
+                    cand_segment = _attach_segment(cand_name)
+                    if kernel == "fast-np" and fastnp.HAVE_NUMPY:
+                        # Zero-copy: the counter's candidate matrix is a
+                        # view into the segment, which stays pinned in
+                        # the entry for the counter's lifetime.
+                        counter = fastnp.FastNumpyCounter.from_flat(
+                            cand_segment.buf
+                        )
+                        counter.use_cache(cache)
+                        entry = (cand_segment, counter, None)
+                    else:
+                        frame = bytes(cand_segment.buf)
+                        cand_segment.close()
+                        _, decoded = candidates_from_bytes(frame)
+                        entry = (None, None, decoded)
+                    plane_counters[cand_name] = entry
+                attach_s = time.perf_counter() - tick
+                plane_counter, candidates = entry[1], entry[2]
                 if cnt_name != counts_name:
                     if counts_segment is not None:
                         counts_segment.close()
@@ -507,10 +586,22 @@ def _worker_main(
             try:
                 if take("error", k) is not None:
                     raise RuntimeError(f"injected worker error at pass {k}")
-                vector, build_s, intersect_s = _count_holdings_vector(
-                    packed, count_holdings, k, candidates, kernel,
-                    branching, leaf_capacity, cache,
-                )
+                if plane_counter is not None:
+                    # Counts accumulate in the cached counter; an adopt
+                    # request must add only the new holdings' counts, so
+                    # every request starts from a zeroed vector.
+                    plane_counter.reset_counts()
+                    b0, i0 = plane_counter.build_s, plane_counter.intersect_s
+                    for lo, hi in count_holdings:
+                        plane_counter.count_packed(packed, lo, hi)
+                    vector = plane_counter.counts_vector()
+                    build_s = plane_counter.build_s - b0
+                    intersect_s = plane_counter.intersect_s - i0
+                else:
+                    vector, build_s, intersect_s = _count_holdings_vector(
+                        packed, count_holdings, k, candidates, kernel,
+                        branching, leaf_capacity, cache,
+                    )
             except Exception as exc:  # surfaced, never swallowed
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
                 continue
@@ -525,17 +616,28 @@ def _worker_main(
                 counts_segment.buf[base:base + 8 * len(vector)] = (
                     array("q", vector).tobytes()
                 )
-                conn.send(("ok", seq, (len(vector), build_s, intersect_s)))
+                body: object = len(vector)
             else:
-                conn.send(("ok", seq, (vector, build_s, intersect_s)))
+                body = vector
+            conn.send(("ok", seq, (body, build_s, intersect_s, attach_s)))
     except EOFError:
         pass
     finally:
-        # The cache pins the shm-backed packed view; drop it before the
-        # store segment object can be torn down, or its mmap close
-        # trips over the exported memoryview at interpreter shutdown.
+        # The caches pin shm-backed views; drop them before the segment
+        # objects can be torn down, or their mmap close trips over the
+        # exported memoryviews at interpreter shutdown.  Plane counters
+        # hold views into their pinned candidate segments, so each
+        # counter is dropped before its segment is closed.
         if cache is not None:
             cache.clear()
+        while plane_counters:
+            _name, (cand_segment, counter, _decoded) = plane_counters.popitem()
+            del counter
+            if cand_segment is not None:
+                try:
+                    cand_segment.close()
+                except BufferError:  # pragma: no cover - view still exported
+                    pass
         conn.close()
 
 
@@ -611,10 +713,13 @@ class _WorkerPool:
         self._slots: Dict[int, _Slot] = {}
         self._fallback_holdings: List = []
         # The parent's own cross-pass bitmap cache for the in-process
-        # recovery rung (vertical kernel only).
-        self._inprocess_cache = (
-            TidBitmapCache() if kernel == "vertical" else None
-        )
+        # recovery rung (bitmap kernels only).
+        if kernel == "vertical":
+            self._inprocess_cache = TidBitmapCache()
+        elif kernel == "fast-np":
+            self._inprocess_cache = fastnp.make_cache()
+        else:
+            self._inprocess_cache = None
         self._segments: Optional[_SharedSegments] = None
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
@@ -674,7 +779,7 @@ class _WorkerPool:
         failures: List[Tuple[int, str]] = []
         pending: Dict[object, Tuple[int, int]] = {}
         tick = time.perf_counter()
-        payload = self._pass_payload(k, candidates)
+        payload = self._pass_payload(k, candidates, overhead)
         for wid, slot in list(self._slots.items()):
             seq = self._next_seq()
             try:
@@ -711,6 +816,9 @@ class _WorkerPool:
                     overhead.intersect_s = max(
                         overhead.intersect_s, timings[1]
                     )
+                    overhead.cand_attach_s = max(
+                        overhead.cand_attach_s, timings[2]
+                    )
                     for index, count in enumerate(vector):
                         totals[index] += count
             overhead.reduce_s += time.perf_counter() - tick
@@ -736,18 +844,28 @@ class _WorkerPool:
         self.pass_overheads.append(overhead)
         return totals
 
-    def _pass_payload(self, k: int, candidates: Sequence[Itemset]):
+    def _pass_payload(
+        self,
+        k: int,
+        candidates: Sequence[Itemset],
+        overhead: Optional[PassOverhead] = None,
+    ):
         """The per-pass candidate payload, shaped by the data plane.
 
         Pickle plane: the candidate list itself (pickled per worker by
         the pipe).  Shared plane: one binary candidate segment written
-        once, plus the counts-region descriptor — the frame then carries
-        only names and sizes.
+        (or recognized as already published — the warm-pool case) once,
+        plus the counts-region descriptor — the frame then carries only
+        names and sizes.  The publish time lands in
+        ``overhead.cand_build_s`` when a pass overhead is given.
         """
         if self._plane != "shared":
             return candidates
+        tick = time.perf_counter()
         cand_name = self._segments.publish_candidates(k, candidates)
         counts_name, capacity = self._segments.ensure_counts(len(candidates))
+        if overhead is not None:
+            overhead.cand_build_s = time.perf_counter() - tick
         return (cand_name, len(candidates), counts_name, capacity)
 
     def _next_seq(self) -> int:
@@ -756,9 +874,9 @@ class _WorkerPool:
 
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int
-    ) -> Tuple[Optional[List[int]], str, Tuple[float, float]]:
+    ) -> Tuple[Optional[List[int]], str, Tuple[float, float, float]]:
         """Read one reply frame; return (vector, "", timings) or
-        (None, failure, (0, 0)).
+        (None, failure, (0, 0, 0)).
 
         A reply echoing a sequence number other than ``seq`` answers an
         *earlier* request (a slow worker draining its queue) and is
@@ -766,14 +884,15 @@ class _WorkerPool:
         waiting rather than mistaking it for the current reply — even
         when the payload happens to have the expected length.
 
-        The ok-payload is ``(body, build_s, intersect_s)``; ``body`` on
-        the shared plane is the number of counts the worker wrote to
-        its slot — a mismatch (e.g. an injected truncated vector) is
-        ``"corrupt"``, exactly as a short pickled list is.  The timings
-        are the worker's vertical-kernel bitmap seconds for the
-        request (zero under tree kernels).
+        The ok-payload is ``(body, build_s, intersect_s, attach_s)``;
+        ``body`` on the shared plane is the number of counts the worker
+        wrote to its slot — a mismatch (e.g. an injected truncated
+        vector) is ``"corrupt"``, exactly as a short pickled list is.
+        The timings are the worker's bitmap-kernel build/intersect
+        seconds (zero under pure tree kernels) and its candidate-plane
+        attach seconds for the request.
         """
-        no_timing = (0.0, 0.0)
+        no_timing = (0.0, 0.0, 0.0)
         try:
             frame = conn.recv()
         except (EOFError, OSError):
@@ -789,10 +908,10 @@ class _WorkerPool:
             )
         if tag != "ok":
             return None, "corrupt", no_timing
-        if not (isinstance(payload, tuple) and len(payload) == 3):
+        if not (isinstance(payload, tuple) and len(payload) == 4):
             return None, "corrupt", no_timing
-        body, build_s, intersect_s = payload
-        timings = (build_s, intersect_s)
+        body, build_s, intersect_s, attach_s = payload
+        timings = (build_s, intersect_s, attach_s)
         if self._plane == "shared":
             if body != expected:
                 return None, "corrupt", no_timing
@@ -1026,10 +1145,14 @@ class NativeCountDistribution:
         start_method: multiprocessing start method (``"fork"`` is
             fastest where available; ``None`` uses the platform default).
         kernel: per-worker counting kernel, ``"fast"`` (default),
-            ``"reference"``, or ``"vertical"`` (per-item TID bitmaps
-            intersected per candidate; each worker builds its block's
-            bitmaps once and reuses them every pass); all yield
-            identical counts.
+            ``"reference"``, ``"fast-np"`` (numpy batch counting
+            straight out of the shared candidate plane — each worker
+            caches one zero-copy counter per published candidate
+            segment plus its block's bit-matrices, and reuses both
+            every pass; pure-python fallback without numpy), or
+            ``"vertical"`` (per-item TID bitmaps intersected per
+            candidate; each worker builds its block's bitmaps once and
+            reuses them every pass); all yield identical counts.
         data_plane: ``"shared"`` (default) — packed transactions in a
             shared-memory store, binary candidate broadcast, count
             vectors in shared int64 slots; or ``"pickle"`` — everything

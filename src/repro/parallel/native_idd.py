@@ -68,6 +68,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import fastnp
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.bitmap import ItemBitmap
 from ..core.candidates import generate_candidates
@@ -146,10 +147,12 @@ def _count_shard(
     kernel's TID-bitmap build/intersection seconds (zero under the tree
     kernels).
 
-    ``cache`` is the holder's cross-pass :class:`TidBitmapCache`; the
-    vertical kernel keys it on the ring's ``(lo, hi)`` slices, so after
-    one full ring walk every store slice's bitmaps are warm for all
-    later passes (until a shrunken pool re-derives the bounds).
+    ``cache`` is the holder's cross-pass bitmap cache
+    (:class:`TidBitmapCache` or the fast-np kernel's
+    :class:`~repro.core.fastnp.PackedBitmapCache`); the bitmap kernels
+    key it on the ring's ``(lo, hi)`` slices, so after one full ring
+    walk every store slice's bitmaps are warm for all later passes
+    (until a shrunken pool re-derives the bounds).
 
     ``kill_after`` is the fault-injection hook: die (``os._exit``) after
     that many completed ring steps — a genuine mid-ring death, with the
@@ -172,7 +175,7 @@ def _count_shard(
         leaf_capacity=leaf_capacity,
         needs_root_filter=True,
     )
-    if cache is not None and kernel == "vertical":
+    if cache is not None and kernel in ("vertical", "fast-np"):
         counter.use_cache(cache)
     shift_s = 0.0
     steps = 0
@@ -189,6 +192,52 @@ def _count_shard(
         vector, shift_s, tally.checked, tally.skipped,
         getattr(counter, "build_s", 0.0),
         getattr(counter, "intersect_s", 0.0),
+    )
+
+
+def _count_shard_plane(
+    counter,
+    packed: PackedDB,
+    owned_bits: int,
+    ring: Sequence[Tuple[int, int]],
+    kill_after: Optional[int] = None,
+) -> Tuple[List[int], float, int, int, float, float]:
+    """Count one shard against the shared fast-np candidate plane.
+
+    ``counter`` is a :class:`~repro.core.fastnp.FastNumpyCounter` decoded
+    once from the shared candidate segment and holding *every* candidate
+    for the pass; the shard is expressed as a boolean row mask
+    (:meth:`first_item_mask` over the ownership bitmap) instead of a
+    rebuilt sub-counter.  ``counts_for(mask)`` returns the masked counts
+    in plane order, which — because both sides select first items from
+    the same sorted candidate list — is exactly the coordinator's shard
+    order.  The tally filter sees each *distinct* first item once (the
+    mask is computed per item, not per traversal), so ``checked`` /
+    ``skipped`` tally items rather than tree walks; prune_rate stays a
+    faithful selectivity measure.
+    """
+    bitmap = ItemBitmap.from_bits(owned_bits)
+    tally = _TallyFilter(bitmap)
+    mask = counter.first_item_mask(tally)
+    if not mask.any():
+        if kill_after is not None:
+            os._exit(_KILLED_EXIT)
+        return [], 0.0, tally.checked, tally.skipped, 0.0, 0.0
+    counter.reset_counts()
+    b0, i0 = counter.build_s, counter.intersect_s
+    shift_s = 0.0
+    steps = 0
+    for lo, hi in ring:
+        tick = time.perf_counter()
+        counter.count_packed(packed, lo, hi, root_filter=mask)
+        shift_s += time.perf_counter() - tick
+        steps += 1
+        if kill_after is not None and steps >= kill_after:
+            os._exit(_KILLED_EXIT)
+    vector = counter.counts_for(mask)
+    return (
+        vector, shift_s, tally.checked, tally.skipped,
+        counter.build_s - b0, counter.intersect_s - i0,
     )
 
 
@@ -222,18 +271,26 @@ def _worker_main(
     schedule of store slices to walk.
 
     Replies echo the request ``seq``: ``("ok", seq, (body, shift_s,
-    checked, skipped, build_s, intersect_s))`` where ``body`` is the
-    number of counts written to the shared slot (shared-plane
-    ``"pass"``) or the vector itself (everything else) and the two
-    trailing timings are the vertical kernel's bitmap seconds (zero
-    under the tree kernels), or ``("error", seq, message)`` when
-    counting raised.
+    checked, skipped, build_s, intersect_s, attach_s))`` where ``body``
+    is the number of counts written to the shared slot (shared-plane
+    ``"pass"``) or the vector itself (everything else), ``build_s`` /
+    ``intersect_s`` are the bitmap kernels' seconds (zero under the
+    tree kernels) and ``attach_s`` is the time spent attaching and
+    decoding the shared candidate plane (zero on the pickle plane and
+    on every cache hit), or ``("error", seq, message)`` when counting
+    raised.
 
-    The loop owns one :class:`TidBitmapCache`; since a ring schedule
-    tiles the whole store, one vertical-kernel pass warms every slice's
-    bitmaps for all later passes.  Respawned replacements start cold
-    and adopted units reuse whatever slices the worker already built —
-    no bitmap state needs recovering.
+    The loop owns one cross-pass bitmap cache (vertical or fast-np);
+    since a ring schedule tiles the whole store, one bitmap-kernel pass
+    warms every slice's bitmaps for all later passes.  Under fast-np on
+    the shared plane it also keeps one decoded
+    :class:`~repro.core.fastnp.FastNumpyCounter` per candidate segment
+    (``plane_counters``): segment names are bound to one candidate set
+    for the pool's lifetime, so a repeated name — a warm-pool re-mine —
+    reuses the counter without re-attaching or re-decoding anything.
+    Respawned replacements start cold and adopted units reuse whatever
+    slices and planes the worker already built — no bitmap state needs
+    recovering.
     """
     pending = list(fault_events)
 
@@ -253,22 +310,52 @@ def _worker_main(
         packed = plane[1]
     counts_segment = None
     counts_name: Optional[str] = None
-    cache = TidBitmapCache() if kernel == "vertical" else None
+    if kernel == "vertical":
+        cache = TidBitmapCache()
+    elif kernel == "fast-np":
+        cache = fastnp.make_cache()
+    else:
+        cache = None
+    # Shared-plane candidate cache: segment name -> (pinned segment or
+    # None, decoded FastNumpyCounter or None, decoded tuple list or
+    # None).  A name is bound to one candidate set for the pool's
+    # lifetime, so entries never go stale; the dict is bounded by the
+    # number of distinct passes the pool ever serves.
+    plane_counters: Dict[str, Tuple] = {}
     try:
         while True:
             message = conn.recv()
             if message is None:
                 break
             tag, seq, k, payload = message
+            plane_counter = None
+            attach_s = 0.0
             if shared:
                 (
                     cand_name, _num, cnt_name, cnt_capacity,
                     owned_bits, ring,
                 ) = payload
-                cand_segment = _attach_segment(cand_name)
-                frame = bytes(cand_segment.buf)
-                cand_segment.close()
-                _, candidates = candidates_from_bytes(frame)
+                tick = time.perf_counter()
+                entry = plane_counters.get(cand_name)
+                if entry is None:
+                    cand_segment = _attach_segment(cand_name)
+                    if kernel == "fast-np" and fastnp.HAVE_NUMPY:
+                        # Decode straight off the shared buffer: the
+                        # candidate matrix is a zero-copy view, so the
+                        # segment stays pinned alongside the counter.
+                        counter = fastnp.FastNumpyCounter.from_flat(
+                            cand_segment.buf
+                        )
+                        counter.use_cache(cache)
+                        entry = (cand_segment, counter, None)
+                    else:
+                        frame = bytes(cand_segment.buf)
+                        cand_segment.close()
+                        _, decoded = candidates_from_bytes(frame)
+                        entry = (None, None, decoded)
+                    plane_counters[cand_name] = entry
+                attach_s = time.perf_counter() - tick
+                plane_counter, candidates = entry[1], entry[2]
                 if cnt_name != counts_name:
                     if counts_segment is not None:
                         counts_segment.close()
@@ -287,13 +374,21 @@ def _worker_main(
             try:
                 if take("error", k) is not None:
                     raise RuntimeError(f"injected worker error at pass {k}")
-                (
-                    vector, shift_s, checked, skipped,
-                    build_s, intersect_s,
-                ) = _count_shard(
-                    packed, candidates, owned_bits, ring, k,
-                    kernel, branching, leaf_capacity, kill_after, cache,
-                )
+                if plane_counter is not None:
+                    (
+                        vector, shift_s, checked, skipped,
+                        build_s, intersect_s,
+                    ) = _count_shard_plane(
+                        plane_counter, packed, owned_bits, ring, kill_after,
+                    )
+                else:
+                    (
+                        vector, shift_s, checked, skipped,
+                        build_s, intersect_s,
+                    ) = _count_shard(
+                        packed, candidates, owned_bits, ring, k,
+                        kernel, branching, leaf_capacity, kill_after, cache,
+                    )
             except Exception as exc:  # surfaced, never swallowed
                 conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
                 continue
@@ -311,7 +406,8 @@ def _worker_main(
                 body = vector
             conn.send(
                 ("ok", seq,
-                 (body, shift_s, checked, skipped, build_s, intersect_s))
+                 (body, shift_s, checked, skipped,
+                  build_s, intersect_s, attach_s))
             )
     except EOFError:
         pass
@@ -322,9 +418,20 @@ def _worker_main(
         # exported memoryviews (the PackedDB's buffers) are alive, and
         # interpreter-shutdown finalization order is not guaranteed to
         # free them first.  The bitmap cache pins the packed store too,
-        # so it goes first.
+        # so it goes first; plane counters pin their candidate segments
+        # the same way, so each counter is dropped before its segment
+        # is closed.
         if cache is not None:
             cache.clear()
+        while plane_counters:
+            _name, entry = plane_counters.popitem()
+            segment, counter = entry[0], entry[1]
+            del entry, counter
+            if segment is not None:
+                try:
+                    segment.close()
+                except BufferError:  # a view outlived the counter
+                    pass
         packed = None
         if counts_segment is not None:
             counts_segment.close()
@@ -417,10 +524,13 @@ class _PartitionedPool:
         self._slots: Dict[int, _Slot] = {}
         self._segments: Optional[_SharedSegments] = None
         # The parent's own cross-pass bitmap cache for the in-process
-        # recovery rungs (vertical kernel only).
-        self._inprocess_cache = (
-            TidBitmapCache() if kernel == "vertical" else None
-        )
+        # recovery rungs (bitmap kernels only).
+        if kernel == "vertical":
+            self._inprocess_cache = TidBitmapCache()
+        elif kernel == "fast-np":
+            self._inprocess_cache = fastnp.make_cache()
+        else:
+            self._inprocess_cache = None
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
         try:
@@ -500,12 +610,25 @@ class _PartitionedPool:
             )
         return units, owned_idx, rows
 
-    def _pass_common(self, k: int, candidates: Sequence[Itemset]):
-        """The plane-shaped part of the payload every worker shares."""
+    def _pass_common(
+        self,
+        k: int,
+        candidates: Sequence[Itemset],
+        overhead: Optional[PassOverhead] = None,
+    ):
+        """The plane-shaped part of the payload every worker shares.
+
+        Publishing the candidate plane (or proving the existing segment
+        is byte-identical and reusable) is the coordinator's once-per-
+        pass serialization cost, recorded as ``cand_build_s``.
+        """
         if self._plane != "shared":
             return None
+        tick = time.perf_counter()
         cand_name = self._segments.publish_candidates(k, candidates)
         counts_name, capacity = self._segments.ensure_counts(len(candidates))
+        if overhead is not None:
+            overhead.cand_build_s = time.perf_counter() - tick
         return (cand_name, len(candidates), counts_name, capacity)
 
     def _payload(self, common, candidates: Sequence[Itemset], unit: _Unit):
@@ -544,7 +667,7 @@ class _PartitionedPool:
         failures: List[Tuple[int, str]] = []
         pending: Dict[object, Tuple[int, int]] = {}
         tick = time.perf_counter()
-        common = self._pass_common(k, candidates)
+        common = self._pass_common(k, candidates, overhead)
         for wid, slot in list(self._slots.items()):
             seq = self._next_seq()
             try:
@@ -578,7 +701,10 @@ class _PartitionedPool:
                 if reply is None:
                     failures.append((wid, failure))
                     continue
-                vector, shift_s, checked, skipped, build_s, intersect_s = reply
+                (
+                    vector, shift_s, checked, skipped,
+                    build_s, intersect_s, attach_s,
+                ) = reply
                 _scatter(totals, owned_idx[units[wid].row], vector)
                 overhead.shift_s = max(overhead.shift_s, shift_s)
                 overhead.prune_checked += checked
@@ -587,6 +713,9 @@ class _PartitionedPool:
                     overhead.bitmap_build_s, build_s
                 )
                 overhead.intersect_s = max(overhead.intersect_s, intersect_s)
+                overhead.cand_attach_s = max(
+                    overhead.cand_attach_s, attach_s
+                )
             overhead.reduce_s += time.perf_counter() - tick
         for wid, _seq in pending.values():
             failures.append((wid, "timeout"))
@@ -611,7 +740,9 @@ class _PartitionedPool:
 
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int, inline: bool
-    ) -> Tuple[Optional[Tuple[List[int], float, int, int, float, float]], str]:
+    ) -> Tuple[
+        Optional[Tuple[List[int], float, int, int, float, float, float]], str
+    ]:
         """Read one reply frame; ``(reply, "")`` or ``(None, failure)``.
 
         ``inline`` selects where the vector lives: in the frame itself
@@ -634,9 +765,12 @@ class _PartitionedPool:
             raise WorkerError(f"worker {wid} failed at pass {k}: {payload}")
         if tag != "ok":
             return None, "corrupt"
-        if not (isinstance(payload, tuple) and len(payload) == 6):
+        if not (isinstance(payload, tuple) and len(payload) == 7):
             return None, "corrupt"
-        body, shift_s, checked, skipped, build_s, intersect_s = payload
+        (
+            body, shift_s, checked, skipped,
+            build_s, intersect_s, attach_s,
+        ) = payload
         if inline:
             if not isinstance(body, list) or len(body) != expected:
                 return None, "corrupt"
@@ -645,7 +779,10 @@ class _PartitionedPool:
             if body != expected:
                 return None, "corrupt"
             vector = self._segments.read_counts(wid, expected)
-        return (vector, shift_s, checked, skipped, build_s, intersect_s), ""
+        return (
+            vector, shift_s, checked, skipped,
+            build_s, intersect_s, attach_s,
+        ), ""
 
     # ------------------------------------------------------------------
     # Recovery ladder
@@ -734,7 +871,7 @@ class _PartitionedPool:
     def _ask(
         self, slot: _Slot, request, wid: int, k: int, expected: int,
         inline: bool,
-    ) -> Optional[Tuple[List[int], float, int, int, float, float]]:
+    ) -> Optional[Tuple[List[int], float, int, int, float, float, float]]:
         """Send one request to one slot; poll-bounded reply or ``None``."""
         seq = self._next_seq()
         try:
@@ -808,7 +945,10 @@ class _PartitionedPool:
             k, owned, kernel=self._kernel, branching=self._branching,
             leaf_capacity=self._leaf_capacity, needs_root_filter=True,
         )
-        if self._inprocess_cache is not None and self._kernel == "vertical":
+        if (
+            self._inprocess_cache is not None
+            and self._kernel in ("vertical", "fast-np")
+        ):
             counter.use_cache(self._inprocess_cache)
         for lo, hi in unit.ring:
             count_packed_into(counter, self._packed, lo, hi)
@@ -821,7 +961,10 @@ class _PartitionedPool:
             k, candidates, kernel=self._kernel, branching=self._branching,
             leaf_capacity=self._leaf_capacity,
         )
-        if self._inprocess_cache is not None and self._kernel == "vertical":
+        if (
+            self._inprocess_cache is not None
+            and self._kernel in ("vertical", "fast-np")
+        ):
             counter.use_cache(self._inprocess_cache)
         count_packed_into(counter, self._packed, 0, self._num_transactions)
         counts = counter.counts()
@@ -891,9 +1034,12 @@ class NativePartitionedMiner:
         start_method: multiprocessing start method (``None`` = platform
             default).
         kernel: per-worker counting kernel, ``"fast"`` (default),
-            ``"reference"``, or ``"vertical"`` (TID-bitmap
-            intersections; a ring walk warms every store slice's
-            bitmaps for all later passes); all yield identical counts.
+            ``"reference"``, ``"fast-np"`` (numpy-vectorized packed
+            counting; on the shared plane workers decode the candidate
+            plane once per segment and mask it with their ownership
+            bitmaps) or ``"vertical"`` (TID-bitmap intersections; a
+            ring walk warms every store slice's bitmaps for all later
+            passes); all yield identical counts.
         data_plane: ``"shared"`` (default; ring shifts are zero-copy
             reads of the shared packed store) or ``"pickle"`` (the store
             ships into each worker once at spawn).

@@ -372,9 +372,9 @@ class TestStaleReplies:
         parent, child = Pipe()
         try:
             # Late answer to request 7, then the answer to request 8;
-            # ok-payloads carry (vector, build_s, intersect_s).
-            child.send(("ok", 7, ([1, 2, 3], 0.0, 0.0)))
-            child.send(("ok", 8, ([4, 5, 6], 0.0, 0.0)))
+            # ok-payloads carry (vector, build_s, intersect_s, attach_s).
+            child.send(("ok", 7, ([1, 2, 3], 0.0, 0.0, 0.0)))
+            child.send(("ok", 8, ([4, 5, 6], 0.0, 0.0, 0.0)))
             vector, failure, _timings = pool._read_reply(
                 parent, 0, 2, 3, seq=8
             )
@@ -435,7 +435,7 @@ class TestRandomizedFailures:
 
     def test_reference_kernel_agrees_under_faults(self, tiny_serial):
         db, serial = tiny_serial
-        for kernel in ("reference", "fast", "vertical"):
+        for kernel in ("reference", "fast", "fast-np", "vertical"):
             miner = NativeCountDistribution(
                 TINY_SUPPORT,
                 3,
@@ -464,6 +464,23 @@ class TestRandomizedFailures:
         assert [r.worker for r in miner.fault_log] == [0, 1]
         assert all(r.action == "respawned" for r in miner.fault_log)
 
+    def test_fastnp_kernel_kill_mid_pass(self, tiny_serial):
+        """fast-np under kill-mid-pass on both planes: the respawned
+        replacement attaches the shared candidate plane cold, decodes
+        its own counter and counts must not move."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            kernel="fast-np",
+            faults="kill@0:k2:mid,kill@1:k3",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert [r.worker for r in miner.fault_log] == [0, 1]
+        assert all(r.action == "respawned" for r in miner.fault_log)
+
     def test_vertical_kernel_adoption_after_refused_spawn(self, tiny_serial):
         """Adopted holdings get bitmaps built on first use by the
         adopter — counts must not change."""
@@ -472,6 +489,21 @@ class TestRandomizedFailures:
             TINY_SUPPORT,
             3,
             kernel="vertical",
+            faults="kill@0:k2,refuse-spawn:9",
+            backoff_base=0.01,
+        )
+        result = miner.mine(db)
+        assert result.frequent == serial.frequent
+        assert miner.fault_log[0].action == "adopted"
+
+    def test_fastnp_kernel_adoption_after_refused_spawn(self, tiny_serial):
+        """An adopter counting a dead peer's holdings reuses its own
+        already-attached candidate plane — counts must not change."""
+        db, serial = tiny_serial
+        miner = NativeCountDistribution(
+            TINY_SUPPORT,
+            3,
+            kernel="fast-np",
             faults="kill@0:k2,refuse-spawn:9",
             backoff_base=0.01,
         )

@@ -102,6 +102,16 @@ class TestIddIdentity:
             o.bitmap_build_s > 0 for o in miner.last_pass_overheads
         )
 
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_fastnp_kernel_matches(self, small_quest_db, quest_serial,
+                                   plane):
+        """fast-np shards mask the shared candidate plane (or fall back
+        to vertical without numpy) and stay bit-identical to serial."""
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, kernel="fast-np"
+        )
+        assert miner.mine(small_quest_db).frequent == quest_serial.frequent
+
     def test_max_k_caps_passes(self, small_quest_db):
         miner = NativeIntelligentDistribution(SUPPORT, 2, max_k=3)
         result = miner.mine(small_quest_db)
@@ -302,6 +312,21 @@ class TestRecoveryLadder:
         rebuilds its TID bitmaps from scratch and counts must not move."""
         miner = NativeIntelligentDistribution(
             SUPPORT, 3, data_plane=plane, kernel="vertical",
+            faults="kill@1:k3:mid",
+        )
+        result = miner.mine(small_quest_db)
+        assert result.frequent == quest_serial.frequent
+        assert [(r.k, r.worker, r.action) for r in miner.fault_log] == [
+            (3, 1, "respawned")
+        ]
+
+    @pytest.mark.parametrize("plane", DATA_PLANES)
+    def test_fastnp_kill_mid_ring(self, small_quest_db, quest_serial,
+                                  plane):
+        """Kill-mid-pass under fast-np: the respawned worker re-attaches
+        the shared candidate plane cold and counts must not move."""
+        miner = NativeIntelligentDistribution(
+            SUPPORT, 3, data_plane=plane, kernel="fast-np",
             faults="kill@1:k3:mid",
         )
         result = miner.mine(small_quest_db)
