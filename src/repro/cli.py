@@ -69,6 +69,17 @@ def _data_plane_arg(text: str) -> str:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _positive_int(text: str) -> int:
+    """argparse ``type=`` callback: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -124,12 +135,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--data-plane",
         type=_data_plane_arg,
         default=None,
-        metavar="{pickle,shared}",
+        metavar="{pickle,shared,mmap}",
         help=(
             "native pool only: 'shared' (default; packed transactions "
             "in shared memory, binary candidate broadcast, shared "
-            "count vectors) or 'pickle' (serialize everything over the "
-            "worker pipes); results are identical"
+            "count vectors), 'mmap' (the packed store written once to "
+            "a file and mapped read-only by every worker — the "
+            "out-of-core plane) or 'pickle' (serialize everything over "
+            "the worker pipes); results are identical"
+        ),
+    )
+    mine.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "native pool, mmap plane only: directory the packed store "
+            "file is written to (default: the system temp directory)"
+        ),
+    )
+    mine.add_argument(
+        "--block-budget",
+        type=_positive_int,
+        default=None,
+        metavar="ITEMS",
+        help=(
+            "native pool, zero-copy planes only: stream each worker's "
+            "store range through counting in blocks of at most this "
+            "many items (out-of-core passes over databases larger "
+            "than RAM)"
+        ),
+    )
+    mine.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "native pool only: journal every completed pass durably to "
+            "this directory so a killed coordinator can be rerun with "
+            "--resume"
+        ),
+    )
+    mine.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted mine from --checkpoint-dir's "
+            "journal; the output is bit-identical to an uninterrupted "
+            "run"
         ),
     )
     mine.add_argument(
@@ -209,6 +262,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "--data-plane only applies to the native algorithms "
                 "(the simulated formulations have no worker processes)"
             )
+        if args.store_dir is not None and (
+            not native or (args.data_plane or "shared") != "mmap"
+        ):
+            parser.error(
+                "--store-dir only applies to the native algorithms on "
+                "--data-plane mmap (no other plane writes a store file)"
+            )
+        if args.block_budget is not None and not native:
+            parser.error(
+                "--block-budget only applies to the native algorithms "
+                "(the simulated formulations have no packed store to "
+                "stream)"
+            )
+        if args.block_budget is not None and (
+            args.data_plane or "shared"
+        ) == "pickle":
+            parser.error(
+                "--block-budget requires a zero-copy data plane "
+                "('shared' or 'mmap')"
+            )
+        if args.checkpoint_dir is not None and not native:
+            parser.error(
+                "--checkpoint-dir only applies to the native algorithms "
+                "(the simulated formulations complete in-process)"
+            )
+        if args.resume and args.checkpoint_dir is None:
+            parser.error(
+                "--resume requires --checkpoint-dir (there is no "
+                "journal to resume from)"
+            )
         if args.switch_threshold is not None and args.algorithm not in (
             "HD", "native-hd",
         ):
@@ -263,11 +346,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             faults=args.fault_spec,
             data_plane=args.data_plane or "shared",
+            store_dir=args.store_dir,
+            block_budget=args.block_budget,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
             **extra_kwargs,
         )
         result = miner.mine(db)
         frequent = result.frequent
         num_transactions = result.num_transactions
+        if args.resume and miner.last_resume_k:
+            print(
+                f"resumed from checkpoint after pass {miner.last_resume_k}"
+            )
         print(
             f"native {label} on "
             f"{miner.last_pool_size or args.processors} worker "

@@ -193,6 +193,39 @@ class PackedDB:
 
         return TransactionDB.from_canonical(self.unpack())
 
+    def block_bounds(
+        self, max_items: int, lo: int = 0, hi: int | None = None
+    ) -> List[Tuple[int, int]]:
+        """Split transactions ``[lo, hi)`` into contiguous sub-blocks.
+
+        Each block ``(block_lo, block_hi)`` covers at most ``max_items``
+        packed items — unless a single transaction alone exceeds the
+        budget, in which case it gets a block of its own (a block always
+        holds at least one transaction, so the split terminates).  The
+        blocks concatenate back to exactly ``[lo, hi)``; this is the
+        out-of-core streaming unit: a counting pass touches one block's
+        worth of the store at a time instead of the whole range.
+        """
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        if hi is None:
+            hi = len(self)
+        if not 0 <= lo <= hi <= len(self):
+            raise ValueError(
+                f"block range [{lo}, {hi}) out of bounds for {len(self)} "
+                "transactions"
+            )
+        offsets = self.offsets
+        bounds: List[Tuple[int, int]] = []
+        start = lo
+        while start < hi:
+            end = start + 1
+            while end < hi and offsets[end + 1] - offsets[start] <= max_items:
+                end += 1
+            bounds.append((start, end))
+            start = end
+        return bounds
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PackedDB):
             return NotImplemented

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from ..core.apriori import AprioriResult
 from ..parallel.base import MiningResult
 
 __all__ = [
+    "frequent_to_payload",
+    "frequent_from_payload",
     "result_to_dict",
     "save_result",
     "load_frequent",
@@ -26,6 +28,34 @@ PathLike = Union[str, Path]
 Result = Union[AprioriResult, MiningResult]
 
 
+def frequent_to_payload(
+    frequent: Dict[tuple, int]
+) -> Tuple[List[List[int]], List[int]]:
+    """Encode a frequent table as parallel ``(itemsets, counts)`` lists.
+
+    Item-sets are canonically sorted so the encoding is deterministic —
+    the same table always serializes to the same bytes (the checkpoint
+    journal's checksums rely on this).
+    """
+    itemsets = sorted(frequent)
+    return [list(s) for s in itemsets], [frequent[s] for s in itemsets]
+
+
+def frequent_from_payload(
+    itemsets: List[List[int]], counts: List[int]
+) -> Dict[tuple, int]:
+    """Decode parallel ``(itemsets, counts)`` lists back to a table.
+
+    Raises ``ValueError`` when the lists disagree in length.
+    """
+    if len(itemsets) != len(counts):
+        raise ValueError("frequent-table payload lengths differ")
+    return {
+        tuple(sorted(items)): count
+        for items, count in zip(itemsets, counts)
+    }
+
+
 def result_to_dict(result: Result) -> Dict[str, Any]:
     """Convert a mining result to a JSON-compatible dictionary.
 
@@ -33,14 +63,14 @@ def result_to_dict(result: Result) -> Dict[str, Any]:
     counts) for compactness; metadata covers everything needed to
     reproduce or compare the run.
     """
-    itemsets = sorted(result.frequent)
+    itemsets, counts = frequent_to_payload(result.frequent)
     payload: Dict[str, Any] = {
         "format": "repro.mining-result.v1",
         "min_support": result.min_support,
         "min_count": result.min_count,
         "num_transactions": result.num_transactions,
-        "itemsets": [list(s) for s in itemsets],
-        "counts": [result.frequent[s] for s in itemsets],
+        "itemsets": itemsets,
+        "counts": counts,
     }
     if isinstance(result, MiningResult):
         payload["algorithm"] = result.algorithm
@@ -89,11 +119,7 @@ def load_frequent(path: PathLike) -> Dict[tuple, int]:
         raise ValueError(
             f"{path!s} is not a repro mining-result file"
         )
-    itemsets = payload["itemsets"]
-    counts = payload["counts"]
-    if len(itemsets) != len(counts):
+    try:
+        return frequent_from_payload(payload["itemsets"], payload["counts"])
+    except ValueError:
         raise ValueError(f"{path!s} is corrupt: table lengths differ")
-    return {
-        tuple(sorted(items)): count
-        for items, count in zip(itemsets, counts)
-    }

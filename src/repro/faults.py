@@ -32,6 +32,10 @@ Spec string syntax — comma-separated events::
     error@W:kK               worker W raises inside the counting loop
                              (surfaces as a structured error frame)
     refuse-spawn[:N]         the next N respawn attempts fail (default 1)
+    coord-kill:kK            the coordinator SIGKILLs itself right after
+                             pass K's checkpoint record is durable (the
+                             whole-process failure the checkpoint layer
+                             recovers from)
 
 Example: ``"kill@0:k2,delay@1:k3:0.5,refuse-spawn:2"``.
 
@@ -42,12 +46,12 @@ sequence, and :meth:`FaultSpec.single_kills` derives a spec from a seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, List, Tuple
 
 __all__ = ["FaultEvent", "FaultSpec", "FaultRecord", "KINDS", "KILL_WHEN"]
 
-KINDS = ("kill", "delay", "corrupt", "error", "refuse-spawn")
+KINDS = ("kill", "delay", "corrupt", "error", "refuse-spawn", "coord-kill")
 #: Kinds executed inside a worker process (as opposed to pool-level).
 WORKER_KINDS = ("kill", "delay", "corrupt", "error")
 KILL_WHEN = ("before", "mid")
@@ -60,8 +64,9 @@ class FaultEvent:
     Attributes:
         kind: one of :data:`KINDS`.
         worker: target worker/processor index (worker kinds only).
-        k: pass number the event fires at, ``>= 2`` (worker kinds only;
-           the pool starts at pass 2 — pass 1 is a serial scan).
+        k: pass number the event fires at, ``>= 2`` for worker kinds
+           (the pool starts at pass 2 — pass 1 is a serial scan) and
+           ``>= 1`` for ``coord-kill`` (pass 1 is checkpointed too).
         when: for ``kill``: ``"before"`` exits on receipt of the pass
             request, ``"mid"`` exits after counting but before replying.
         delay: for ``delay``: seconds to stall the reply.
@@ -92,6 +97,10 @@ class FaultEvent:
                     f"{self.kind} fault needs a pass number k >= 2, "
                     f"got {self.k} (pass 1 never reaches the pool)"
                 )
+        if self.kind == "coord-kill" and self.k < 1:
+            raise ValueError(
+                f"coord-kill fault needs a pass number k >= 1, got {self.k}"
+            )
         if self.when not in KILL_WHEN:
             raise ValueError(
                 f"kill timing must be 'before' or 'mid', got {self.when!r}"
@@ -105,6 +114,8 @@ class FaultEvent:
         """Render this event in the spec string syntax."""
         if self.kind == "refuse-spawn":
             return f"refuse-spawn:{self.count}"
+        if self.kind == "coord-kill":
+            return f"coord-kill:k{self.k}"
         base = f"{self.kind}@{self.worker}:k{self.k}"
         if self.kind == "kill" and self.when != "before":
             return f"{base}:{self.when}"
@@ -152,6 +163,13 @@ def _parse_event(token: str) -> FaultEvent:
         if not rest.startswith(":"):
             raise ValueError(f"malformed fault event {token!r}")
         return FaultEvent("refuse-spawn", count=int(rest[1:]))
+    if token.startswith("coord-kill"):
+        rest = token[len("coord-kill"):]
+        if not rest.startswith(":k"):
+            raise ValueError(
+                f"malformed fault event {token!r}; expected coord-kill:kN"
+            )
+        return FaultEvent("coord-kill", k=int(rest[2:]))
     if "@" not in token:
         raise ValueError(
             f"malformed fault event {token!r}; expected kind@worker:kN"
@@ -267,6 +285,37 @@ class FaultSpec:
     def refusals(self) -> int:
         """Total respawn attempts the pool must refuse."""
         return sum(e.count for e in self.events if e.kind == "refuse-spawn")
+
+    def coordinator_kills(self) -> frozenset:
+        """Passes after which the coordinator SIGKILLs itself."""
+        return frozenset(
+            e.k for e in self.events if e.kind == "coord-kill"
+        )
+
+    def advance(
+        self, completed_k: int, refusals_consumed: int = 0
+    ) -> "FaultSpec":
+        """The spec as seen by a coordinator resuming after pass ``completed_k``.
+
+        Drops every pass-targeted event (worker kinds and
+        ``coord-kill``) with ``k <= completed_k`` — those passes are
+        already journaled, so their failures must not replay — and
+        decrements ``refuse-spawn`` budgets by the refusals the
+        interrupted run already consumed (per the checkpoint cursor).
+        Resuming under the *same* ``--fault-spec`` therefore continues
+        the failure schedule instead of restarting it.
+        """
+        remaining = max(0, refusals_consumed)
+        events: List[FaultEvent] = []
+        for event in self.events:
+            if event.kind == "refuse-spawn":
+                used = min(event.count, remaining)
+                remaining -= used
+                if event.count > used:
+                    events.append(replace(event, count=event.count - used))
+            elif event.k > completed_k:
+                events.append(event)
+        return FaultSpec(tuple(events))
 
     def failing_at(self, k: int) -> List[int]:
         """Sorted processor indices with a ``kill`` event at pass ``k``.

@@ -26,6 +26,17 @@ bits (``data_plane=``):
   communication is O(|C_k|) shared-memory traffic plus O(P) tiny
   messages, which is the paper's CD communication argument realized
   natively.
+* ``"mmap"`` — the out-of-core plane.  Identical to ``"shared"`` except
+  the packed store is written once to a *disk file* (under
+  ``store_dir``) that every worker maps read-only via
+  :class:`~repro.core.mmapdb.MmapPackedDB` — the OS page cache holds
+  only the hot blocks, so the minable database is bounded by disk, not
+  RAM.  Candidates and count slots stay in small shared-memory
+  segments.  With ``block_budget`` set, each worker's holdings are
+  split into sub-ranges of at most that many packed items
+  (:meth:`~repro.core.packed.PackedDB.block_bounds`), so a pass streams
+  the store block by block instead of touching a whole partition at
+  once.
 * ``"pickle"`` — the escape hatch: blocks are shipped into each worker
   once (fork inheritance or a one-shot pickle) and every pass exchanges
   pickled candidate lists and count vectors over the pipes, as in the
@@ -68,19 +79,35 @@ injected.
 
 Failure handling is driven by — and tested through — the deterministic
 fault-injection layer in :mod:`repro.faults`.
+
+Worker failures are one half of the fault story; the other half —
+coordinator death — is handled by the checkpoint layer
+(:mod:`repro.checkpoint`): with ``checkpoint_dir`` set, every completed
+pass is journaled durably, and ``resume=True`` picks a killed mine up
+at the first unjournaled pass, bit-identical to an uninterrupted run.
+Workers watch the parent-death sentinel alongside their command pipe,
+so a SIGKILLed coordinator's pool shuts itself down (and the resource
+tracker reclaims the shared store) instead of orphaning forever.
 """
 
 from __future__ import annotations
 
 import os
 import secrets
+import tempfile
 import time
 from array import array
 from dataclasses import dataclass
-from multiprocessing import get_context, shared_memory
+from multiprocessing import get_context, parent_process, shared_memory
 from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..checkpoint import (
+    CheckpointSession,
+    checkpoint_meta,
+    fire_coordinator_kill,
+)
 from ..core import fastnp
 from ..core.apriori import AprioriResult, PassTrace, min_support_count
 from ..core.candidates import generate_candidates
@@ -112,14 +139,15 @@ __all__ = [
 # pipe EOF is "died").
 _KILLED_EXIT = 17
 
-DATA_PLANES = ("pickle", "shared")
+DATA_PLANES = ("pickle", "shared", "mmap")
 
 
 def validate_data_plane(data_plane: str) -> str:
     """Return ``data_plane`` if it names a known native data plane.
 
     Raises:
-        ValueError: for anything other than ``"pickle"`` or ``"shared"``.
+        ValueError: for anything other than ``"pickle"``, ``"shared"``
+            or ``"mmap"``.
     """
     if data_plane not in DATA_PLANES:
         known = ", ".join(repr(p) for p in DATA_PLANES)
@@ -255,10 +283,34 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original_register
 
 
+def _attach_store(store_ref: Tuple[str, str]):
+    """Attach the packed store in a worker, given its plane reference.
+
+    ``store_ref`` is ``("shm", name)`` — attach the shared-memory
+    segment — or ``("mmap", path)`` — map the store file read-only.
+    Returns ``(holder, packed)``: the holder pins the mapping for the
+    worker's lifetime and is closed last, after every view cast from it
+    has been dropped.
+    """
+    kind, ref = store_ref
+    if kind == "shm":
+        segment = _attach_segment(ref)
+        return segment, packed_from_buffer(segment.buf)
+    from ..core.mmapdb import MmapPackedDB
+
+    store = MmapPackedDB.attach(ref)
+    return store, store
+
+
 class _SharedSegments:
     """Coordinator-owned shared segments: store, counts, candidates.
 
-    * **store** — the packed transaction database, written exactly once.
+    * **store** — the packed transaction database, written exactly once:
+      into a shared-memory segment by default, or — when ``store_dir``
+      is given (the mmap plane) — into a disk file under it that
+      workers map read-only.  Either way :attr:`store_ref` is the
+      ``("shm", name)`` / ``("mmap", path)`` reference workers attach
+      through (:func:`_attach_store`), and :meth:`close` removes it.
     * **counts** — ``num_slots`` int64 regions of ``counts_capacity``
       entries each; worker ``w`` writes its pass vector at slot ``w``.
       Grown (power-of-two) when a pass's candidate count exceeds the
@@ -281,17 +333,33 @@ class _SharedSegments:
     :class:`WorkerError` mid-pass) leave nothing behind.
     """
 
-    def __init__(self, packed: PackedDB, num_slots: int):
+    def __init__(
+        self,
+        packed: PackedDB,
+        num_slots: int,
+        store_dir: Optional[str] = None,
+    ):
         self._live: Dict[str, shared_memory.SharedMemory] = {}
         self._closed = False
         self.num_slots = num_slots
         self.counts_capacity = 0
         self._counts_name: Optional[str] = None
         self._cand_names: Dict[int, str] = {}
+        self._store_path: Optional[Path] = None
         try:
-            store = self._create("db", packed_nbytes(packed))
-            write_packed_into(packed, store.buf)
-            self.store_name = store.name
+            if store_dir is None:
+                store = self._create("db", packed_nbytes(packed))
+                write_packed_into(packed, store.buf)
+                self.store_ref = ("shm", store.name)
+            else:
+                from ..core.mmapdb import write_packed_file
+
+                directory = Path(store_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / _segment_name("db.packed")
+                write_packed_file(packed, path)
+                self._store_path = path
+                self.store_ref = ("mmap", str(path))
         except Exception:
             self.close()
             raise
@@ -381,11 +449,35 @@ class _SharedSegments:
             self._unlink(name)
         self._cand_names.clear()
         self._counts_name = None
+        if self._store_path is not None:
+            # The mmap plane's store file is coordinator-owned too;
+            # attached workers keep their mappings (POSIX unlink
+            # semantics), new attaches fail loudly.
+            self._store_path.unlink(missing_ok=True)
+            self._store_path = None
 
 
 # ----------------------------------------------------------------------
 # Counting shared by workers and the parent's in-process fallback
 # ----------------------------------------------------------------------
+
+
+def _recv_command(conn):
+    """Receive the next request frame, or ``None`` when the parent died.
+
+    A forked worker inherits a copy of its *own* pipe's parent end, so
+    ``conn.recv()`` alone can never see EOF after the coordinator is
+    SIGKILLed — every worker would orphan forever, pinning the shared
+    store (and, through it, the resource tracker).  Waiting on the
+    parent-death sentinel alongside the command pipe turns coordinator
+    death into the same orderly shutdown as an explicit ``None`` frame.
+    """
+    parent = parent_process()
+    if parent is not None:
+        ready = _connection_wait([conn, parent.sentinel])
+        if conn not in ready:
+            return None
+    return conn.recv()
 
 
 def _count_holdings_vector(
@@ -448,10 +540,12 @@ def _worker_main(
 ) -> None:
     """Worker loop: hold transaction blocks, count pass after pass.
 
-    ``plane`` is ``("pickle",)`` or ``("shared", store_name, slot)``;
-    on the shared plane the worker attaches the packed store by name
-    once (zero transaction bytes cross the pipe, ever) and ``holdings``
-    are ``(lo, hi)`` ranges into it instead of transaction lists.
+    ``plane`` is ``("pickle",)`` or ``("shared", store_ref, slot)``
+    where ``store_ref`` is ``("shm", name)`` (shared plane) or
+    ``("mmap", path)`` (out-of-core plane); on either zero-copy plane
+    the worker attaches the packed store by reference once (zero
+    transaction bytes cross the pipe, ever) and ``holdings`` are
+    ``(lo, hi)`` ranges into it instead of transaction lists.
 
     Request frames (parent → worker):
 
@@ -509,18 +603,17 @@ def _worker_main(
     shared = plane[0] == "shared"
     packed: Optional[PackedDB] = None
     slot = 0
-    store_segment: Optional[shared_memory.SharedMemory] = None
+    store_holder = None
     counts_segment: Optional[shared_memory.SharedMemory] = None
     counts_name: Optional[str] = None
     if shared:
-        _, store_name, slot = plane
-        # Attach once; a respawned replacement re-attaches by name
-        # instead of being re-shipped its blocks.  The segment object
-        # must outlive the views cast from its buffer, so it is pinned
-        # here for the worker's lifetime (the OS reclaims the mapping at
-        # exit; the coordinator owns the unlink).
-        store_segment = _attach_segment(store_name)
-        packed = packed_from_buffer(store_segment.buf)
+        _, store_ref, slot = plane
+        # Attach once; a respawned replacement re-attaches by reference
+        # (shm name or store-file path) instead of being re-shipped its
+        # blocks.  The holder must outlive the views cast from its
+        # buffer, so it is pinned here for the worker's lifetime (the
+        # coordinator owns the unlink of segment and file alike).
+        store_holder, packed = _attach_store(store_ref)
     if kernel == "vertical":
         cache = TidBitmapCache()
     elif kernel == "fast-np":
@@ -536,7 +629,7 @@ def _worker_main(
 
     try:
         while True:
-            message = conn.recv()
+            message = _recv_command(conn)
             if message is None:
                 break
             if message[0] == "adopt":
@@ -638,6 +731,12 @@ def _worker_main(
                     cand_segment.close()
                 except BufferError:  # pragma: no cover - view still exported
                     pass
+        packed = None
+        if store_holder is not None:
+            try:
+                store_holder.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
         conn.close()
 
 
@@ -665,11 +764,13 @@ class _WorkerPool:
 
     Args:
         holdings: per-worker holdings — ``(lo, hi)`` range lists into
-            ``packed`` (shared plane) or transaction block lists
+            ``packed`` (shared/mmap planes) or transaction block lists
             (pickle plane).
-        packed: the packed store (shared plane only); the pool writes it
-            into the store segment and keeps this array-backed copy for
-            the in-process recovery rung.
+        packed: the packed store (zero-copy planes only); the pool
+            writes it into the store segment or file and keeps this
+            array-backed copy for the in-process recovery rung.
+        store_dir: mmap plane only — directory the store file is
+            written into (defaults to the platform temp directory).
         recv_timeout: per-pass reply deadline in seconds; receives are
             poll-based so no call blocks past it.
         max_retries: respawn attempts per failed worker (beyond these
@@ -689,6 +790,7 @@ class _WorkerPool:
         kernel: str,
         data_plane: str = "shared",
         packed: Optional[PackedDB] = None,
+        store_dir: Optional[str] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
@@ -706,6 +808,7 @@ class _WorkerPool:
         self._faults = faults or FaultSpec()
         # refuse-spawn gates *respawns* (recovery), not the initial pool.
         self._refusals_left = self._faults.refusals()
+        self._initial_refusals = self._refusals_left
         # Monotonic request counter: every frame carries it and every
         # reply echoes it, so stale replies are recognizable (see
         # _read_reply).
@@ -724,12 +827,22 @@ class _WorkerPool:
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
         try:
-            if self._plane == "shared":
+            if self._plane != "pickle":
                 if packed is None:
                     raise ValueError(
-                        "the shared data plane requires a packed store"
+                        "the shared and mmap data planes require a "
+                        "packed store"
                     )
-                self._segments = _SharedSegments(packed, len(holdings))
+                mmap_dir: Optional[str] = None
+                if self._plane == "mmap":
+                    mmap_dir = (
+                        store_dir
+                        if store_dir is not None
+                        else tempfile.gettempdir()
+                    )
+                self._segments = _SharedSegments(
+                    packed, len(holdings), store_dir=mmap_dir
+                )
             for wid, holding in enumerate(holdings):
                 events = self._faults.worker_events(wid)
                 slot = self._spawn(wid, list(holding), events, gated=False)
@@ -753,6 +866,11 @@ class _WorkerPool:
     def degraded(self) -> bool:
         """True once any block is being counted in-process."""
         return bool(self._fallback_holdings)
+
+    @property
+    def refusals_consumed(self) -> int:
+        """refuse-spawn budget consumed so far (the checkpoint cursor)."""
+        return self._initial_refusals - self._refusals_left
 
     def segment_names(self) -> List[str]:
         """Names of currently live shared segments (empty on pickle)."""
@@ -853,13 +971,13 @@ class _WorkerPool:
         """The per-pass candidate payload, shaped by the data plane.
 
         Pickle plane: the candidate list itself (pickled per worker by
-        the pipe).  Shared plane: one binary candidate segment written
-        (or recognized as already published — the warm-pool case) once,
-        plus the counts-region descriptor — the frame then carries only
-        names and sizes.  The publish time lands in
-        ``overhead.cand_build_s`` when a pass overhead is given.
+        the pipe).  Zero-copy planes (shared/mmap): one binary candidate
+        segment written (or recognized as already published — the
+        warm-pool case) once, plus the counts-region descriptor — the
+        frame then carries only names and sizes.  The publish time lands
+        in ``overhead.cand_build_s`` when a pass overhead is given.
         """
-        if self._plane != "shared":
+        if self._plane == "pickle":
             return candidates
         tick = time.perf_counter()
         cand_name = self._segments.publish_candidates(k, candidates)
@@ -885,9 +1003,10 @@ class _WorkerPool:
         when the payload happens to have the expected length.
 
         The ok-payload is ``(body, build_s, intersect_s, attach_s)``;
-        ``body`` on the shared plane is the number of counts the worker
-        wrote to its slot — a mismatch (e.g. an injected truncated
-        vector) is ``"corrupt"``, exactly as a short pickled list is.
+        ``body`` on the zero-copy planes is the number of counts the
+        worker wrote to its slot — a mismatch (e.g. an injected
+        truncated vector) is ``"corrupt"``, exactly as a short pickled
+        list is.
         The timings are the worker's bitmap-kernel build/intersect
         seconds (zero under pure tree kernels) and its candidate-plane
         attach seconds for the request.
@@ -912,7 +1031,7 @@ class _WorkerPool:
             return None, "corrupt", no_timing
         body, build_s, intersect_s, attach_s = payload
         timings = (build_s, intersect_s, attach_s)
-        if self._plane == "shared":
+        if self._plane != "pickle":
             if body != expected:
                 return None, "corrupt", no_timing
             return self._segments.read_counts(wid, expected), "", timings
@@ -1049,8 +1168,8 @@ class _WorkerPool:
         if gated and self._refusals_left > 0:
             self._refusals_left -= 1
             return None
-        if self._plane == "shared":
-            plane = ("shared", self._segments.store_name, wid)
+        if self._plane != "pickle":
+            plane = ("shared", self._segments.store_ref, wid)
         else:
             plane = ("pickle",)
         try:
@@ -1078,7 +1197,7 @@ class _WorkerPool:
         self, holdings: Sequence, k: int, candidates: Sequence[Itemset]
     ) -> List[int]:
         vector, _build_s, _intersect_s = _count_holdings_vector(
-            self._packed if self._plane == "shared" else None,
+            self._packed if self._plane != "pickle" else None,
             holdings, k, candidates, self._kernel, self._branching,
             self._leaf_capacity, self._inprocess_cache,
         )
@@ -1155,10 +1274,27 @@ class NativeCountDistribution:
             reuses them every pass); all yield identical counts.
         data_plane: ``"shared"`` (default) — packed transactions in a
             shared-memory store, binary candidate broadcast, count
-            vectors in shared int64 slots; or ``"pickle"`` — everything
-            serialized over the pipes.  Both planes yield identical
-            results; shared removes the coordinator's per-pass
-            (de)serialization cost.
+            vectors in shared int64 slots; ``"mmap"`` — same, but the
+            store is a disk file workers map read-only (out-of-core:
+            the minable database is bounded by disk, not RAM); or
+            ``"pickle"`` — everything serialized over the pipes.  All
+            planes yield identical results.
+        store_dir: mmap plane only — directory the store file is
+            written into (defaults to the platform temp directory; the
+            file is removed at pool shutdown).
+        block_budget: zero-copy planes only — split every worker's
+            holdings into sub-blocks of at most this many packed items
+            (:meth:`~repro.core.packed.PackedDB.block_bounds`), so a
+            pass streams the store block by block instead of touching a
+            whole partition at once (the out-of-core counting mode).
+        checkpoint_dir: persist one durable checkpoint record per
+            completed pass into this directory's ``journal.repro``
+            (see :mod:`repro.checkpoint`), so a coordinator killed
+            mid-mine can be rerun with ``resume=True``.
+        resume: pick up from ``checkpoint_dir``'s journal — journaled
+            passes are restored, mining continues at the first
+            unjournaled pass, and the combined result is bit-identical
+            to an uninterrupted run.  Requires ``checkpoint_dir``.
         recv_timeout: seconds a pass waits for worker replies before
             declaring stragglers failed; receives are poll-based, so no
             call blocks indefinitely.
@@ -1207,6 +1343,10 @@ class NativeCountDistribution:
         max_retries: int = 2,
         backoff_base: float = 0.05,
         faults: Optional[FaultSpec] = None,
+        store_dir: Optional[str] = None,
+        block_budget: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -1230,13 +1370,36 @@ class NativeCountDistribution:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.faults = FaultSpec.of(faults)
+        if block_budget is not None:
+            if block_budget < 1:
+                raise ValueError(
+                    f"block_budget must be >= 1, got {block_budget}"
+                )
+            if self.data_plane == "pickle":
+                raise ValueError(
+                    "block_budget requires a zero-copy data plane "
+                    "('shared' or 'mmap'); the pickle plane ships "
+                    "materialized blocks"
+                )
+        if resume and checkpoint_dir is None:
+            raise ValueError(
+                "resume=True requires a checkpoint_dir to resume from"
+            )
+        self.store_dir = store_dir
+        self.block_budget = block_budget
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
         self.last_pass_overheads: List[PassOverhead] = []
         self.last_pool_reused = False
+        self.last_resume_k = 0
         self._keep_pool = False
         self._pool: Optional[_WorkerPool] = None
         self._pool_db: Optional[TransactionDB] = None
+        # The fault schedule the *current* mine() runs under: the
+        # declared spec, advanced past journaled passes on resume.
+        self._active_faults = self.faults
 
     @property
     def num_processors(self) -> int:
@@ -1258,8 +1421,9 @@ class NativeCountDistribution:
             pool.shutdown()
 
     def _has_faults(self) -> bool:
-        return self.faults is not None and (
-            len(self.faults) > 0 or self.faults.refusals() > 0
+        faults = self._active_faults
+        return faults is not None and (
+            len(faults) > 0 or faults.refusals() > 0
         )
 
     def _acquire_pool(self, db: TransactionDB) -> _WorkerPool:
@@ -1291,13 +1455,17 @@ class NativeCountDistribution:
         # when num_workers exceeds the transaction count, and an empty
         # block would pin an idle process for the whole run.
         packed: Optional[PackedDB] = None
-        if self.data_plane == "shared":
-            # Pack once; workers attach the store segment and hold
-            # (lo, hi) ranges into it.  The array-backed copy stays in
-            # the parent for the in-process recovery rung.
+        if self.data_plane != "pickle":
+            # Pack once; workers attach the store (segment or file) and
+            # hold (lo, hi) ranges into it.  The array-backed copy stays
+            # in the parent for the in-process recovery rung.  A block
+            # budget splits each worker's partition into bounded
+            # sub-ranges so a pass streams the store block by block.
             packed = db.to_packed()
             holdings = [
-                [(lo, hi)]
+                packed.block_bounds(self.block_budget, lo, hi)
+                if self.block_budget is not None
+                else [(lo, hi)]
                 for lo, hi in db.partition_bounds(self.num_workers)
                 if hi > lo
             ]
@@ -1320,10 +1488,11 @@ class NativeCountDistribution:
             self.kernel,
             data_plane=self.data_plane,
             packed=packed,
+            store_dir=self.store_dir,
             recv_timeout=self.recv_timeout,
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
-            faults=self.faults,
+            faults=self._active_faults,
         )
 
     def _release_pool(self, pool: _WorkerPool, clean: bool, db) -> None:
@@ -1354,43 +1523,109 @@ class NativeCountDistribution:
         self.fault_log = []
         self.last_pool_size = 0
         self.last_pass_overheads = []
+        self.last_resume_k = 0
 
-        # Pass 1 is a trivial scan; not worth process overhead.
-        frequent_prev = self._pass_one(db, min_count, result)
-        if not frequent_prev:
-            return result
-
-        k = 2
-        pool = self._acquire_pool(db)
-        clean = False
+        session, frequent_prev, next_k = self._open_checkpoint(
+            "native-cd", db, min_count, result
+        )
         try:
-            self.last_pool_size = pool.num_workers
-            while frequent_prev and (self.max_k is None or k <= self.max_k):
-                candidates = generate_candidates(frequent_prev)
-                if not candidates:
-                    break
-                totals = pool.count_pass(k, candidates)
-                frequent_k = {
-                    candidates[i]: totals[i]
-                    for i in range(len(candidates))
-                    if totals[i] >= min_count
-                }
-                result.frequent.update(frequent_k)
-                result.passes.append(
-                    PassTrace(
-                        k=k,
-                        num_candidates=len(candidates),
-                        num_frequent=len(frequent_k),
+            if next_k == 1:
+                # Pass 1 is a trivial scan; not worth process overhead.
+                frequent_prev = self._pass_one(db, min_count, result)
+                if session is not None:
+                    session.record(
+                        1,
+                        result.passes[-1].num_candidates,
+                        {s: result.frequent[s] for s in frequent_prev},
                     )
-                )
-                frequent_prev = sorted(frequent_k)
-                k += 1
-            self.fault_log = list(pool.fault_log)
-            self.last_pass_overheads = list(pool.pass_overheads)
-            clean = True
+                fire_coordinator_kill(self._active_faults, 1)
+            if not frequent_prev:
+                return result
+
+            k = max(2, next_k)
+            if self.max_k is not None and k > self.max_k:
+                return result
+            pool = self._acquire_pool(db)
+            clean = False
+            try:
+                self.last_pool_size = pool.num_workers
+                while frequent_prev and (
+                    self.max_k is None or k <= self.max_k
+                ):
+                    candidates = generate_candidates(frequent_prev)
+                    if not candidates:
+                        break
+                    totals = pool.count_pass(k, candidates)
+                    frequent_k = {
+                        candidates[i]: totals[i]
+                        for i in range(len(candidates))
+                        if totals[i] >= min_count
+                    }
+                    result.frequent.update(frequent_k)
+                    result.passes.append(
+                        PassTrace(
+                            k=k,
+                            num_candidates=len(candidates),
+                            num_frequent=len(frequent_k),
+                        )
+                    )
+                    if session is not None:
+                        session.record(
+                            k,
+                            len(candidates),
+                            frequent_k,
+                            pool.refusals_consumed,
+                        )
+                    fire_coordinator_kill(self._active_faults, k)
+                    frequent_prev = sorted(frequent_k)
+                    k += 1
+                self.fault_log = list(pool.fault_log)
+                self.last_pass_overheads = list(pool.pass_overheads)
+                clean = True
+            finally:
+                self._release_pool(pool, clean, db)
+            return result
         finally:
-            self._release_pool(pool, clean, db)
-        return result
+            if session is not None:
+                session.close()
+
+    def _open_checkpoint(
+        self, algorithm: str, db: TransactionDB, min_count: int, result
+    ):
+        """Set up the checkpoint session (if any) and the fault schedule.
+
+        Returns ``(session, frequent_prev, next_k)``: with no
+        ``checkpoint_dir`` the mine starts from scratch faults-as-
+        declared; on resume the journaled passes are already folded into
+        ``result`` and :attr:`_active_faults` is the declared spec
+        advanced past them (fired coordinator kills and worker events of
+        completed passes don't replay; consumed refuse-spawn budget
+        stays consumed), so rerunning under the *same* ``--fault-spec``
+        continues the schedule.
+        """
+        self._active_faults = self.faults
+        if self.checkpoint_dir is None:
+            return None, [], 1
+        meta = checkpoint_meta(
+            algorithm=algorithm,
+            db=db,
+            min_support=self.min_support,
+            min_count=min_count,
+            kernel=self.kernel,
+            max_k=self.max_k,
+        )
+        session = CheckpointSession(self.checkpoint_dir, self.resume, meta)
+        try:
+            frequent_prev, next_k = session.start(result)
+        except Exception:
+            session.close()
+            raise
+        self.last_resume_k = next_k - 1
+        if self.faults is not None and next_k > 1:
+            self._active_faults = self.faults.advance(
+                next_k - 1, session.prior_refusals
+            )
+        return session, frequent_prev, next_k
 
     def _pass_one(
         self, db: TransactionDB, min_count: int, result: AprioriResult

@@ -20,9 +20,12 @@ fault-tolerant worker pool:
   next step.  No transaction bytes ever cross a pipe — the all-to-all
   communication of message-passing IDD degenerates to P extra zero-copy
   reads, which is the honest shared-memory realization of the paper's
-  contention-free shift schedule.  The pickle plane ships the packed
-  store into each worker once at spawn and the ring is walked over that
-  private copy.
+  contention-free shift schedule.  The mmap plane is the same schedule
+  over a read-only file mapping (:class:`~repro.core.mmapdb.MmapPackedDB`)
+  instead of a ``/dev/shm`` segment — the out-of-core variant, optionally
+  streamed in ``block_budget``-bounded bites.  The pickle plane ships the
+  packed store into each worker once at spawn and the ring is walked over
+  that private copy.
 * **HD arranges the P workers in a G x (P/G) grid**: candidates are
   partitioned over the G rows (each row's shard replicated across its
   P/G columns), transactions over all P workers, and each worker's ring
@@ -62,6 +65,7 @@ bitmap-filter tallies behind :attr:`PassOverhead.prune_rate`.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from array import array
 from dataclasses import dataclass
@@ -74,10 +78,15 @@ from ..core.bitmap import ItemBitmap
 from ..core.candidates import generate_candidates
 from ..core.items import Itemset
 from ..core.kernels import count_packed_into, make_counter, validate_kernel
-from ..core.packed import PackedDB, candidates_from_bytes, packed_from_buffer
+from ..core.packed import PackedDB, candidates_from_bytes
 from ..core.partition import partition_by_first_item
 from ..core.transaction import TransactionDB
 from ..core.vertical import TidBitmapCache
+from ..checkpoint import (
+    CheckpointSession,
+    checkpoint_meta,
+    fire_coordinator_kill,
+)
 from ..faults import FaultEvent, FaultRecord, FaultSpec
 from .hybrid import choose_grid
 from .native import (
@@ -85,7 +94,9 @@ from .native import (
     PassOverhead,
     WorkerError,
     _attach_segment,
+    _attach_store,
     _connection_wait,
+    _recv_command,
     _SharedSegments,
     serial_pass_one,
     validate_data_plane,
@@ -251,8 +262,9 @@ def _worker_main(
 ) -> None:
     """Partitioned worker loop: build a shard, walk a ring, pass after pass.
 
-    ``plane`` is ``("shared", store_name, slot)`` — attach the packed
-    store by name, write pass vectors into counts slot ``slot`` — or
+    ``plane`` is ``("shared", store_ref, slot)`` — attach the packed
+    store by reference (``("shm", name)`` segment or ``("mmap", path)``
+    file mapping), write pass vectors into counts slot ``slot`` — or
     ``("pickle", packed_db, slot)`` — the store arrived once in the
     spawn arguments and vectors go back inline.
 
@@ -302,10 +314,9 @@ def _worker_main(
 
     shared = plane[0] == "shared"
     slot = plane[2]
-    store_segment = None
+    store_holder = None
     if shared:
-        store_segment = _attach_segment(plane[1])
-        packed = packed_from_buffer(store_segment.buf)
+        store_holder, packed = _attach_store(plane[1])
     else:
         packed = plane[1]
     counts_segment = None
@@ -324,7 +335,7 @@ def _worker_main(
     plane_counters: Dict[str, Tuple] = {}
     try:
         while True:
-            message = conn.recv()
+            message = _recv_command(conn)
             if message is None:
                 break
             tag, seq, k, payload = message
@@ -435,8 +446,11 @@ def _worker_main(
         packed = None
         if counts_segment is not None:
             counts_segment.close()
-        if store_segment is not None:
-            store_segment.close()
+        if store_holder is not None:
+            try:
+                store_holder.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
 
 
 def _even_bounds(num_transactions: int, parts: int) -> List[Tuple[int, int]]:
@@ -500,6 +514,8 @@ class _PartitionedPool:
         switch_threshold: int = 50_000,
         refine_threshold: Optional[int] = None,
         data_plane: str = "shared",
+        store_dir: Optional[str] = None,
+        block_budget: Optional[int] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
@@ -515,11 +531,13 @@ class _PartitionedPool:
         self._switch_threshold = switch_threshold
         self._refine_threshold = refine_threshold
         self._plane = validate_data_plane(data_plane)
+        self._block_budget = block_budget
         self.recv_timeout = recv_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self._faults = faults or FaultSpec()
         self._refusals_left = self._faults.refusals()
+        self._initial_refusals = self._refusals_left
         self._seq = 0
         self._slots: Dict[int, _Slot] = {}
         self._segments: Optional[_SharedSegments] = None
@@ -534,8 +552,17 @@ class _PartitionedPool:
         self.fault_log: List[FaultRecord] = []
         self.pass_overheads: List[PassOverhead] = []
         try:
-            if self._plane == "shared":
-                self._segments = _SharedSegments(packed, num_workers)
+            if self._plane != "pickle":
+                mmap_dir = None
+                if self._plane == "mmap":
+                    mmap_dir = (
+                        store_dir
+                        if store_dir is not None
+                        else tempfile.gettempdir()
+                    )
+                self._segments = _SharedSegments(
+                    packed, num_workers, store_dir=mmap_dir
+                )
             for wid in range(num_workers):
                 events = self._faults.worker_events(wid)
                 slot = self._spawn(wid, events, gated=False)
@@ -554,6 +581,11 @@ class _PartitionedPool:
     def num_workers(self) -> int:
         """Live worker processes."""
         return len(self._slots)
+
+    @property
+    def refusals_consumed(self) -> int:
+        """refuse-spawn budget already consumed — the checkpoint cursor."""
+        return self._initial_refusals - self._refusals_left
 
     def segment_names(self) -> List[str]:
         """Names of currently live shared segments (empty on pickle)."""
@@ -595,6 +627,15 @@ class _PartitionedPool:
             for assignment in partition.assignments
         ]
         bounds = _even_bounds(self._num_transactions, p_live)
+        # Under a block budget every position's block becomes a chain of
+        # bounded sub-ranges; the ring walks the same transactions in
+        # the same order, just in budget-sized bites.
+        blocks = [
+            self._packed.block_bounds(self._block_budget, lo, hi)
+            if self._block_budget is not None and hi > lo
+            else [(lo, hi)]
+            for lo, hi in bounds
+        ]
         units: Dict[int, _Unit] = {}
         for position, wid in enumerate(wids):
             row, col = divmod(position, cols)
@@ -602,8 +643,9 @@ class _PartitionedPool:
             # up the same grid column; after G steps the column's blocks
             # have each been walked exactly once.
             ring = tuple(
-                bounds[((row - step) % rows) * cols + col]
+                chunk
                 for step in range(rows)
+                for chunk in blocks[((row - step) % rows) * cols + col]
             )
             units[wid] = _Unit(
                 row=row, bits=partition.filters[row].bits, ring=ring
@@ -622,7 +664,7 @@ class _PartitionedPool:
         is byte-identical and reusable) is the coordinator's once-per-
         pass serialization cost, recorded as ``cand_build_s``.
         """
-        if self._plane != "shared":
+        if self._plane == "pickle":
             return None
         tick = time.perf_counter()
         cand_name = self._segments.publish_candidates(k, candidates)
@@ -632,7 +674,7 @@ class _PartitionedPool:
         return (cand_name, len(candidates), counts_name, capacity)
 
     def _payload(self, common, candidates: Sequence[Itemset], unit: _Unit):
-        if self._plane == "shared":
+        if self._plane != "pickle":
             return common + (unit.bits, unit.ring)
         return (list(candidates), unit.bits, unit.ring)
 
@@ -693,7 +735,7 @@ class _PartitionedPool:
                 expected = len(owned_idx[units[wid].row])
                 reply, failure = self._read_reply(
                     conn, wid, k, expected, seq,
-                    inline=self._plane != "shared",
+                    inline=self._plane == "pickle",
                 )
                 if failure == "stale":
                     continue  # keep waiting for the current reply
@@ -830,7 +872,7 @@ class _PartitionedPool:
                 continue
             reply = self._ask(
                 replacement, ("pass", k, payload), wid, k, expected,
-                inline=self._plane != "shared",
+                inline=self._plane == "pickle",
             )
             if reply is not None:
                 self._slots[wid] = replacement
@@ -901,8 +943,8 @@ class _PartitionedPool:
         if gated and self._refusals_left > 0:
             self._refusals_left -= 1
             return None
-        if self._plane == "shared":
-            plane = ("shared", self._segments.store_name, wid)
+        if self._plane != "pickle":
+            plane = ("shared", self._segments.store_ref, wid)
         else:
             plane = ("pickle", self._packed, wid)
         try:
@@ -1041,8 +1083,16 @@ class NativePartitionedMiner:
             ring walk warms every store slice's bitmaps for all later
             passes); all yield identical counts.
         data_plane: ``"shared"`` (default; ring shifts are zero-copy
-            reads of the shared packed store) or ``"pickle"`` (the store
-            ships into each worker once at spawn).
+            reads of the shared packed store), ``"mmap"`` (the store is
+            written once to a file and every worker maps it read-only —
+            the out-of-core plane) or ``"pickle"`` (the store ships into
+            each worker once at spawn).
+        store_dir: mmap plane only — directory the store file is
+            written to (default: the system temp directory).
+        block_budget: zero-copy planes only — split every ring block
+            into sub-ranges of at most this many items, so each shift
+            step streams the store in bounded bites (SON/partition
+            style) instead of touching a whole block at once.
         switch_threshold: HD's ``m`` — minimum candidates worth one more
             grid row (ignored in IDD mode, where G is always P).
         refine_threshold: second-item refinement threshold for the bin
@@ -1051,6 +1101,14 @@ class NativePartitionedMiner:
             as in :class:`~repro.parallel.native.NativeCountDistribution`.
         faults: optional :class:`~repro.faults.FaultSpec` (or spec
             string) of injected failures, for chaos testing.
+        checkpoint_dir: persist one durable checkpoint record per
+            completed pass (see :mod:`repro.checkpoint`) so a
+            coordinator killed mid-mine can be rerun with
+            ``resume=True``.
+        resume: pick up from ``checkpoint_dir``'s journal — journaled
+            passes are folded into the result, mining continues at the
+            first unjournaled pass, and the output is bit-identical to
+            an uninterrupted run.  Requires ``checkpoint_dir``.
 
     After :meth:`mine`, :attr:`fault_log`, :attr:`last_pool_size` and
     :attr:`last_pass_overheads` mirror the CD miner's introspection
@@ -1075,12 +1133,16 @@ class NativePartitionedMiner:
         start_method: Optional[str] = None,
         kernel: str = "fast",
         data_plane: str = "shared",
+        store_dir: Optional[str] = None,
+        block_budget: Optional[int] = None,
         switch_threshold: int = 50_000,
         refine_threshold: Optional[int] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
         faults: Optional[FaultSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ):
         if self.mode not in NATIVE_MODES:
             known = ", ".join(repr(m) for m in NATIVE_MODES)
@@ -1101,6 +1163,21 @@ class NativePartitionedMiner:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if backoff_base < 0:
             raise ValueError(f"backoff_base must be >= 0, got {backoff_base}")
+        self.data_plane = validate_data_plane(data_plane)
+        if block_budget is not None:
+            if block_budget < 1:
+                raise ValueError(
+                    f"block_budget must be >= 1, got {block_budget}"
+                )
+            if self.data_plane == "pickle":
+                raise ValueError(
+                    "block_budget requires a zero-copy data plane "
+                    "('shared' or 'mmap')"
+                )
+        if resume and checkpoint_dir is None:
+            raise ValueError(
+                "resume=True requires a checkpoint_dir to resume from"
+            )
         self.min_support = min_support
         self.num_workers = num_workers
         self.branching = branching
@@ -1108,20 +1185,27 @@ class NativePartitionedMiner:
         self.max_k = max_k
         self.start_method = start_method
         self.kernel = validate_kernel(kernel)
-        self.data_plane = validate_data_plane(data_plane)
+        self.store_dir = store_dir
+        self.block_budget = block_budget
         self.switch_threshold = switch_threshold
         self.refine_threshold = refine_threshold
         self.recv_timeout = recv_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.faults = FaultSpec.of(faults)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
         self.last_pass_overheads: List[PassOverhead] = []
         self.last_pool_reused = False
+        self.last_resume_k = 0
         self._keep_pool = False
         self._pool: Optional[_PartitionedPool] = None
         self._pool_db: Optional[TransactionDB] = None
+        # The fault schedule mine() actually runs under: the declared
+        # spec, advanced past journaled passes on resume.
+        self._active_faults = self.faults
 
     @property
     def num_processors(self) -> int:
@@ -1143,8 +1227,9 @@ class NativePartitionedMiner:
             pool.shutdown()
 
     def _has_faults(self) -> bool:
-        return self.faults is not None and (
-            len(self.faults) > 0 or self.faults.refusals() > 0
+        faults = self._active_faults
+        return faults is not None and (
+            len(faults) > 0 or faults.refusals() > 0
         )
 
     def _acquire_pool(self, db: TransactionDB) -> _PartitionedPool:
@@ -1193,10 +1278,12 @@ class NativePartitionedMiner:
             switch_threshold=self.switch_threshold,
             refine_threshold=self.refine_threshold,
             data_plane=self.data_plane,
+            store_dir=self.store_dir,
+            block_budget=self.block_budget,
             recv_timeout=self.recv_timeout,
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
-            faults=self.faults,
+            faults=self._active_faults,
         )
 
     def _release_pool(
@@ -1228,42 +1315,104 @@ class NativePartitionedMiner:
         self.fault_log = []
         self.last_pool_size = 0
         self.last_pass_overheads = []
+        self.last_resume_k = 0
 
-        frequent_prev = serial_pass_one(db, min_count, result)
-        if not frequent_prev:
-            return result
-
-        k = 2
-        pool = self._acquire_pool(db)
-        clean = False
+        session, frequent_prev, next_k = self._open_checkpoint(
+            f"native-{self.mode}", db, min_count, result
+        )
         try:
-            self.last_pool_size = pool.num_workers
-            while frequent_prev and (self.max_k is None or k <= self.max_k):
-                candidates = generate_candidates(frequent_prev)
-                if not candidates:
-                    break
-                totals = pool.count_pass(k, candidates)
-                frequent_k = {
-                    candidates[i]: totals[i]
-                    for i in range(len(candidates))
-                    if totals[i] >= min_count
-                }
-                result.frequent.update(frequent_k)
-                result.passes.append(
-                    PassTrace(
-                        k=k,
-                        num_candidates=len(candidates),
-                        num_frequent=len(frequent_k),
+            if next_k == 1:
+                frequent_prev = serial_pass_one(db, min_count, result)
+                if session is not None:
+                    session.record(
+                        1,
+                        result.passes[-1].num_candidates,
+                        {s: result.frequent[s] for s in frequent_prev},
                     )
-                )
-                frequent_prev = sorted(frequent_k)
-                k += 1
-            self.fault_log = list(pool.fault_log)
-            self.last_pass_overheads = list(pool.pass_overheads)
-            clean = True
+                fire_coordinator_kill(self._active_faults, 1)
+            if not frequent_prev:
+                return result
+
+            k = max(2, next_k)
+            if self.max_k is not None and k > self.max_k:
+                return result
+            pool = self._acquire_pool(db)
+            clean = False
+            try:
+                self.last_pool_size = pool.num_workers
+                while frequent_prev and (
+                    self.max_k is None or k <= self.max_k
+                ):
+                    candidates = generate_candidates(frequent_prev)
+                    if not candidates:
+                        break
+                    totals = pool.count_pass(k, candidates)
+                    frequent_k = {
+                        candidates[i]: totals[i]
+                        for i in range(len(candidates))
+                        if totals[i] >= min_count
+                    }
+                    result.frequent.update(frequent_k)
+                    result.passes.append(
+                        PassTrace(
+                            k=k,
+                            num_candidates=len(candidates),
+                            num_frequent=len(frequent_k),
+                        )
+                    )
+                    if session is not None:
+                        session.record(
+                            k,
+                            len(candidates),
+                            frequent_k,
+                            pool.refusals_consumed,
+                        )
+                    fire_coordinator_kill(self._active_faults, k)
+                    frequent_prev = sorted(frequent_k)
+                    k += 1
+                self.fault_log = list(pool.fault_log)
+                self.last_pass_overheads = list(pool.pass_overheads)
+                clean = True
+            finally:
+                self._release_pool(pool, clean, db)
+            return result
         finally:
-            self._release_pool(pool, clean, db)
-        return result
+            if session is not None:
+                session.close()
+
+    def _open_checkpoint(
+        self, algorithm: str, db: TransactionDB, min_count: int, result
+    ):
+        """Set up the checkpoint session (if any) and the fault schedule.
+
+        Same contract as the CD miner's ``_open_checkpoint``: returns
+        ``(session, frequent_prev, next_k)``, with journaled passes
+        already folded into ``result`` on resume and
+        :attr:`_active_faults` advanced past them.
+        """
+        self._active_faults = self.faults
+        if self.checkpoint_dir is None:
+            return None, [], 1
+        meta = checkpoint_meta(
+            algorithm=algorithm,
+            db=db,
+            min_support=self.min_support,
+            min_count=min_count,
+            kernel=self.kernel,
+            max_k=self.max_k,
+        )
+        session = CheckpointSession(self.checkpoint_dir, self.resume, meta)
+        try:
+            frequent_prev, next_k = session.start(result)
+        except Exception:
+            session.close()
+            raise
+        self.last_resume_k = next_k - 1
+        if self.faults is not None and next_k > 1:
+            self._active_faults = self.faults.advance(
+                next_k - 1, session.prior_refusals
+            )
+        return session, frequent_prev, next_k
 
 
 class NativeIntelligentDistribution(NativePartitionedMiner):

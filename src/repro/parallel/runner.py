@@ -107,7 +107,10 @@ def make_miner(
             reject it).  ``None`` keeps the formulation's default.
         **kwargs: forwarded to the formulation's constructor (e.g.
             ``switch_threshold`` for HD, ``max_k``, ``charge_io``;
-            ``data_plane`` for the native pool's transport).
+            ``data_plane`` — ``"pickle"``, ``"shared"`` or the
+            out-of-core ``"mmap"`` — plus ``store_dir``,
+            ``block_budget``, ``checkpoint_dir`` and ``resume`` for the
+            native pool's transport and crash recovery).
 
     Raises:
         KeyError: for an unknown algorithm name.

@@ -10,10 +10,17 @@ import glob
 
 import pytest
 
+from repro.checkpoint import CheckpointJournal
 from repro.core.apriori import Apriori
 from repro.core.bitmap import ItemBitmap
 from repro.core.transaction import TransactionDB
-from repro.parallel.native import DATA_PLANES, NativeCountDistribution
+from repro.data.serialize import frequent_from_payload
+from repro.faults import FaultSpec
+from repro.parallel.native import (
+    DATA_PLANES,
+    NativeCountDistribution,
+    WorkerError,
+)
 from repro.parallel.native_idd import (
     NativeHybridDistribution,
     NativeIntelligentDistribution,
@@ -437,6 +444,45 @@ class TestWarmPool:
                 == quest_serial.frequent
             )
             assert miner.last_pool_reused is False
+
+    def test_worker_error_then_re_mine(self, small_quest_db, quest_serial):
+        # A WorkerError escaping mine() must poison the warm pool: the
+        # next mine rebuilds from scratch and is still bit-identical.
+        with NativeIntelligentDistribution(
+            SUPPORT, 2, faults="error@0:k2", backoff_base=0.01
+        ) as miner:
+            with pytest.raises(WorkerError, match="failed at pass 2"):
+                miner.mine(small_quest_db)
+            miner.faults = FaultSpec()
+            result = miner.mine(small_quest_db)
+            assert result.frequent == quest_serial.frequent
+            assert miner.last_pool_reused is False
+            # Once healthy, the rebuilt pool is warm again.
+            miner.mine(small_quest_db)
+            assert miner.last_pool_reused is True
+
+    def test_checkpointed_runs_reuse_pool(
+        self, tmp_path, small_quest_db, quest_serial
+    ):
+        # checkpoint_dir journals each run; warm-pool reuse must not
+        # confuse the journal (each clean run rewrites it in full).
+        ckpt = tmp_path / "ckpt"
+        with NativeIntelligentDistribution(
+            SUPPORT, 2, max_k=3, checkpoint_dir=str(ckpt)
+        ) as miner:
+            first = miner.mine(small_quest_db)
+            assert miner.last_pool_reused is False
+            second = miner.mine(small_quest_db)
+            assert miner.last_pool_reused is True
+            assert first.frequent == second.frequent
+        state = CheckpointJournal.load(str(ckpt))
+        assert state.last_k == 3
+        restored = {}
+        for record in state.passes:
+            restored.update(
+                frequent_from_payload(record["itemsets"], record["counts"])
+            )
+        assert restored == second.frequent
 
 
 class TestPassOverheads:

@@ -234,6 +234,116 @@ class TestKernelAndDataPlaneFlags:
             assert "frequent item-sets" in out
 
 
+class TestCheckpointFlags:
+    """The out-of-core and crash-recovery flags added with the mmap plane."""
+
+    def test_flag_defaults(self, dat_file):
+        args = build_parser().parse_args(["mine", str(dat_file)])
+        assert args.store_dir is None
+        assert args.block_budget is None
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+
+    def test_resume_without_checkpoint_dir_is_usage_error(
+        self, dat_file, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mine", str(dat_file), "--algorithm", "native", "--resume"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_checkpoint_dir_without_native_is_usage_error(
+        self, dat_file, tmp_path, capsys
+    ):
+        # Only the native pool journals passes; the simulated
+        # formulations have no coordinator process to crash.
+        for argv in (
+            ["mine", str(dat_file), "--checkpoint-dir", str(tmp_path)],
+            ["mine", str(dat_file), "--algorithm", "CD",
+             "--checkpoint-dir", str(tmp_path)],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_block_budget_without_native_is_usage_error(
+        self, dat_file, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(dat_file), "--block-budget", "64"])
+        assert excinfo.value.code == 2
+        assert "--block-budget" in capsys.readouterr().err
+
+    def test_block_budget_on_pickle_plane_is_usage_error(
+        self, dat_file, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mine", str(dat_file), "--algorithm", "native",
+                 "--data-plane", "pickle", "--block-budget", "64"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "zero-copy data plane" in err
+
+    def test_block_budget_must_be_positive(self, dat_file, capsys):
+        for bad in ("0", "-3", "four"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(
+                    ["mine", str(dat_file), "--algorithm", "native",
+                     "--data-plane", "shared", "--block-budget", bad]
+                )
+            assert excinfo.value.code == 2
+            assert "--block-budget" in capsys.readouterr().err
+
+    def test_store_dir_without_mmap_plane_is_usage_error(
+        self, dat_file, tmp_path, capsys
+    ):
+        for argv in (
+            ["mine", str(dat_file), "--store-dir", str(tmp_path)],
+            ["mine", str(dat_file), "--algorithm", "native",
+             "--data-plane", "shared", "--store-dir", str(tmp_path)],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--store-dir" in capsys.readouterr().err
+
+    def test_native_mine_through_mmap_plane(self, dat_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        exit_code = main(
+            ["mine", str(dat_file), "--min-support", "0.3",
+             "--algorithm", "native", "--processors", "2",
+             "--data-plane", "mmap", "--store-dir", str(store),
+             "--block-budget", "4", "--kernel", "reference"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "(mmap data plane)" in out
+        assert "frequent item-sets" in out
+        # A clean run unlinks its packed store file at pool shutdown.
+        assert list(store.glob("*.packed")) == []
+
+    def test_resume_round_trip_prints_pass(self, dat_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        base = [
+            "mine", str(dat_file), "--min-support", "0.3",
+            "--algorithm", "native", "--processors", "2",
+            "--checkpoint-dir", ckpt,
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint after pass" in out
+        assert "frequent item-sets" in out
+
+
 class TestGenerateCommand:
     def test_generates_file(self, tmp_path, capsys):
         out_path = tmp_path / "synthetic.dat"

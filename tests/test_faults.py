@@ -150,3 +150,52 @@ class TestFaultRecord:
         assert record.k == 3
         assert record.failure == "timeout"
         assert record.action == "respawned"
+
+
+class TestCoordinatorKill:
+    def test_parse_and_format_round_trip(self):
+        text = "kill@0:k2,coord-kill:k1,coord-kill:k3,refuse-spawn:2"
+        spec = FaultSpec.parse(text)
+        assert spec.format() == text
+        assert spec.events[1] == FaultEvent("coord-kill", k=1)
+
+    def test_pass_one_is_allowed(self):
+        # Unlike worker kinds, coord-kill may target pass 1 — the serial
+        # scan is checkpointed too.
+        assert FaultSpec.parse("coord-kill:k1").coordinator_kills() == {1}
+
+    def test_rejects_pass_zero(self):
+        with pytest.raises(ValueError, match="k >= 1"):
+            FaultEvent("coord-kill", k=0)
+
+    def test_coordinator_kills_collects_passes(self):
+        spec = FaultSpec.parse("coord-kill:k2,kill@0:k2,coord-kill:k4")
+        assert spec.coordinator_kills() == frozenset({2, 4})
+        assert FaultSpec.parse("kill@0:k2").coordinator_kills() == frozenset()
+
+
+class TestAdvance:
+    def test_drops_fired_pass_events(self):
+        spec = FaultSpec.parse("kill@0:k2,coord-kill:k2,kill@1:k3,coord-kill:k4")
+        resumed = spec.advance(2)
+        assert resumed.format() == "kill@1:k3,coord-kill:k4"
+
+    def test_preserves_future_events(self):
+        spec = FaultSpec.parse("coord-kill:k3")
+        assert spec.advance(1) == spec
+        assert spec.advance(0) == spec
+
+    def test_decrements_refusal_budget(self):
+        spec = FaultSpec.parse("refuse-spawn:3")
+        assert spec.advance(2, refusals_consumed=1).refusals() == 2
+        # A fully spent budget disappears from the resumed spec.
+        assert len(spec.advance(2, refusals_consumed=3)) == 0
+        assert len(spec.advance(2, refusals_consumed=99)) == 0
+
+    def test_refusals_drain_in_order_across_events(self):
+        spec = FaultSpec.parse("refuse-spawn:2,kill@0:k5,refuse-spawn:3")
+        resumed = spec.advance(1, refusals_consumed=3)
+        assert resumed.format() == "kill@0:k5,refuse-spawn:2"
+
+    def test_empty_spec_advances_to_empty(self):
+        assert len(FaultSpec().advance(7, refusals_consumed=4)) == 0
