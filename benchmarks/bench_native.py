@@ -23,7 +23,12 @@ medians in ``BENCH_native.json`` at the repo root:
 * **CD vs IDD** (``test_cd_vs_idd_partitioning``) — the paper's memory
   argument on the real pool: the largest candidate bin any worker
   built (compared against the full candidate set CD replicates), the
-  root-bitmap prune rate, wall-clock, and speedup.
+  root-bitmap prune rate, wall-clock, and speedup.  Measured through
+  the same warm-pool + fast-np shared-candidate-plane pattern as the
+  CD sections (the worker masks the one decoded plane counter per
+  shard instead of rebuilding a sub-tree every pass), and gated
+  ``native.idd.w4.speedup_vs_serial > 1.0`` — the formulation that
+  bounds candidate memory must also beat serial, not trade it away.
 * **CD vs vertical** (``test_vertical_kernel_speedup``) — the
   TID-bitmap kernel on the shared plane, warm-pool pattern as above.
   Gate: ``native.vertical.w4.speedup_vs_serial > 1.0``.
@@ -236,28 +241,38 @@ def test_cd_vs_idd_partitioning(db, serial_baseline):
     medians = {}
     full_candidates = 0
     for num_workers in WORKER_COUNTS:
+        # Warm-pool pattern, exactly like the CD sections: spawn once,
+        # measure warm re-mines on the fast-np shared candidate plane
+        # (the worker-side `_count_shard_plane` path — one decoded
+        # plane counter + a first-item row mask per shard instead of a
+        # per-pass shard rebuild).  The old cold-miner-per-round
+        # measurement repaid spawn + packing every round, which is why
+        # the `native.idd.w*` speedups sat at 0.57-0.63.
         walls = []
-        frequent = None
-        for _ in range(ROUNDS):
-            miner = NativeIntelligentDistribution(
-                MIN_SUPPORT, num_workers, max_k=3
-            )
+        with NativeIntelligentDistribution(
+            MIN_SUPPORT, num_workers, kernel="fast-np", max_k=3
+        ) as miner:
             start = time.perf_counter()
             result = miner.mine(db)
-            walls.append(time.perf_counter() - start)
-            if frequent is None:
-                frequent = result.frequent
-            else:
+            cold_wall = time.perf_counter() - start
+            frequent = result.frequent
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                result = miner.mine(db)
+                walls.append(time.perf_counter() - start)
+                assert miner.last_pool_reused
                 assert result.frequent == frequent
-        # Shard sizes and prune rates are deterministic — take them from
-        # the last round's pass-2 record (the largest candidate set).
-        # ``pass2.num_candidates`` is the full set a CD worker would
-        # replicate; CD never bin-packs, so no ``native.cd.*`` bin key
-        # is recorded — the IDD bins are compared against it directly.
-        (pass2,) = [o for o in miner.last_pass_overheads if o.k == 2]
+            # Shard sizes and prune rates are deterministic — take them
+            # from the last round's pass-2 record (the largest candidate
+            # set).  ``pass2.num_candidates`` is the full set a CD
+            # worker would replicate; CD never bin-packs, so no
+            # ``native.cd.*`` bin key is recorded — the IDD bins are
+            # compared against it directly.
+            (pass2,) = [o for o in miner.last_pass_overheads if o.k == 2]
         full_candidates = pass2.num_candidates
         wall = statistics.median(walls)
         medians[f"native.idd.w{num_workers}.wall_s"] = wall
+        medians[f"native.idd.w{num_workers}.cold_wall_s"] = cold_wall
         medians[
             f"native.idd.w{num_workers}.speedup_vs_serial"
         ] = serial_wall / wall
@@ -268,7 +283,8 @@ def test_cd_vs_idd_partitioning(db, serial_baseline):
         assert frequent == serial_frequent
         print(
             f"\nIDD {num_workers} worker(s): "
-            f"wall {wall:.3f}s; "
+            f"cold {cold_wall:.3f}s, warm {wall:.3f}s "
+            f"({serial_wall / wall:.2f}x vs serial fast); "
             f"largest bin {pass2.max_bin_candidates}/"
             f"{pass2.num_candidates} candidates; "
             f"prune rate {pass2.prune_rate:.2f}"
@@ -290,6 +306,13 @@ def test_cd_vs_idd_partitioning(db, serial_baseline):
             "full candidate set CD replicates at 4 workers (need >= 2x)"
         )
         assert medians["native.idd.w4.prune_rate"] >= 0.5
+        speedup = medians["native.idd.w4.speedup_vs_serial"]
+        assert speedup > 1.0, (
+            f"fast-np IDD pool at 4 workers is {speedup:.2f}x the "
+            "serial fast kernel (need > 1.0x: with the warm pool and "
+            "the shared candidate plane the partitioned formulation "
+            "must beat serial too, not just bound memory)"
+        )
 
 
 def test_vertical_kernel_speedup(db, serial_baseline):

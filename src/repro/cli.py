@@ -16,6 +16,14 @@ Examples::
     repro-mine mine db.dat --min-support 0.01 --min-confidence 0.8
     repro-mine mine db.dat --algorithm HD --processors 16
     repro-mine experiment table2
+
+Scaling to millions of transactions (generate once, mine many times)::
+
+    repro-mine generate --transactions 1000000 --generate-to big.packed
+    repro-mine mine --attach big.packed --algorithm native-cd \\
+        --two-phase --block-budget 2000000 --checkpoint-dir ckpt
+    repro-mine mine --attach big.packed --algorithm native-cd \\
+        --two-phase --block-budget 2000000 --checkpoint-dir ckpt --resume
 """
 
 from __future__ import annotations
@@ -92,7 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     mine = sub.add_parser("mine", help="mine a .dat transaction file")
-    mine.add_argument("database", help="path to a .dat transaction file")
+    mine.add_argument(
+        "database",
+        nargs="?",
+        default=None,
+        help=(
+            "path to a .dat transaction file (omit when mining a packed "
+            "store with --attach)"
+        ),
+    )
+    mine.add_argument(
+        "--attach",
+        default=None,
+        metavar="STORE",
+        help=(
+            "mine a packed store file (written by 'generate "
+            "--generate-to') by mapping it read-only instead of loading "
+            "a .dat file into RAM; native algorithms on a zero-copy "
+            "data plane only — with --data-plane mmap (the default "
+            "here) the workers map the attached file directly, so the "
+            "database is never copied"
+        ),
+    )
     mine.add_argument("--min-support", type=float, default=0.01)
     mine.add_argument(
         "--min-confidence",
@@ -186,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.add_argument(
+        "--two-phase",
+        action="store_true",
+        help=(
+            "native-cd only: SON/partition two-phase counting — each "
+            "worker first mines its own blocks at locally-scaled "
+            "support (phase 1), then the pool counts only the union of "
+            "those locally-frequent sets exactly (phase 2); results "
+            "are bit-identical to single-phase Apriori, but no pass "
+            "ever materializes the full candidate set, which bounds "
+            "candidate memory on huge databases; requires a zero-copy "
+            "data plane"
+        ),
+    )
+    mine.add_argument(
         "--switch-threshold",
         type=int,
         default=None,
@@ -232,7 +275,28 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--transactions", type=int, required=True)
     gen.add_argument("--items", type=int, default=1000)
     gen.add_argument("--seed", type=int, default=0)
-    gen.add_argument("--out", required=True, help="output .dat path")
+    gen.add_argument("--out", default=None, help="output .dat path")
+    gen.add_argument(
+        "--generate-to",
+        default=None,
+        metavar="STORE",
+        help=(
+            "stream the database straight into a packed store file "
+            "with constant RAM (never materializing the transactions "
+            "in memory); the file is byte-identical to packing the "
+            "in-memory database and is minable with 'mine --attach'"
+        ),
+    )
+    gen.add_argument(
+        "--progress-every",
+        type=_positive_int,
+        default=100_000,
+        metavar="N",
+        help=(
+            "with --generate-to: print a progress line every N "
+            "generated transactions (default 100000)"
+        ),
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -257,6 +321,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         native = args.algorithm is not None and args.algorithm.startswith(
             "native"
         )
+        if (args.database is None) == (args.attach is None):
+            parser.error(
+                "exactly one input is required: a .dat database path, "
+                "or --attach STORE for a packed store file"
+            )
+        if args.attach is not None and not native:
+            parser.error(
+                "--attach requires a native algorithm (native-cd, "
+                "native-idd or native-hd): only the native pool can "
+                "mine a mapped packed store in place"
+            )
+        if args.attach is not None and (
+            args.data_plane or "mmap"
+        ) == "pickle":
+            parser.error(
+                "--attach requires a zero-copy data plane ('shared' or "
+                "'mmap'); the pickle plane would copy the mapped store "
+                "into every worker"
+            )
+        if args.two_phase and args.algorithm not in ("native", "native-cd"):
+            parser.error(
+                "--two-phase only applies to --algorithm native-cd "
+                "(SON phase 1 runs on the count-distribution pool)"
+            )
+        if args.two_phase and (args.data_plane or "shared") == "pickle":
+            parser.error(
+                "--two-phase requires a zero-copy data plane ('shared' "
+                "or 'mmap'); SON phase 1 mines packed store ranges in "
+                "place"
+            )
         if args.data_plane is not None and not native:
             parser.error(
                 "--data-plane only applies to the native algorithms "
@@ -301,13 +395,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return _cmd_mine(args)
     if args.command == "generate":
+        if args.out is None and args.generate_to is None:
+            parser.error(
+                "at least one destination is required: --out FILE.dat "
+                "(plain text) and/or --generate-to STORE (packed store "
+                "file, streamed with constant RAM)"
+            )
         return _cmd_generate(args)
     return _cmd_experiment(args)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    db = read_dat(args.database)
-    print(f"loaded {len(db)} transactions from {args.database}")
+    store = None
+    if args.attach is not None:
+        from .core.mmapdb import MmapPackedDB
+
+        try:
+            store = MmapPackedDB.attach(args.attach)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        db = store
+        print(
+            f"attached {len(db)} transactions "
+            f"({db.total_items} items) from {args.attach}"
+        )
+    else:
+        db = read_dat(args.database)
+        print(f"loaded {len(db)} transactions from {args.database}")
     kernel_kwargs = {} if args.kernel is None else {"kernel": args.kernel}
     if args.algorithm is None:
         result = Apriori(
@@ -338,6 +453,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         extra_kwargs = dict(kernel_kwargs)
         if args.switch_threshold is not None:
             extra_kwargs["switch_threshold"] = args.switch_threshold
+        if args.two_phase:
+            extra_kwargs["two_phase"] = True
+            extra_kwargs["progress"] = print
+        # An attached store defaults to the mmap plane: the workers
+        # then map the store file itself instead of copying it.
+        default_plane = "mmap" if store is not None else "shared"
         miner = miner_class(
             args.min_support,
             args.processors,
@@ -345,14 +466,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             recv_timeout=args.recv_timeout,
             max_retries=args.max_retries,
             faults=args.fault_spec,
-            data_plane=args.data_plane or "shared",
+            data_plane=args.data_plane or default_plane,
             store_dir=args.store_dir,
             block_budget=args.block_budget,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             **extra_kwargs,
         )
-        result = miner.mine(db)
+        try:
+            result = miner.mine(db)
+        finally:
+            if store is not None:
+                store.close()
         frequent = result.frequent
         num_transactions = result.num_transactions
         if args.resume and miner.last_resume_k:
@@ -417,6 +542,30 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     config = t15_i6(args.transactions, seed=args.seed, num_items=args.items)
+    if args.generate_to is not None:
+        from .data.quest import generate_to_file
+
+        def _progress(written: int, total: int) -> None:
+            print(
+                f"generated {written}/{total} transactions "
+                f"({100.0 * written / max(1, total):.0f}%)"
+            )
+
+        path = generate_to_file(
+            config,
+            args.generate_to,
+            progress=_progress,
+            progress_every=args.progress_every,
+        )
+        size = path.stat().st_size
+        print(
+            f"wrote packed store {path} "
+            f"({size} bytes, {args.transactions} transactions) — "
+            f"mine it with: repro-mine mine --attach {path} "
+            f"--algorithm native-cd"
+        )
+        if args.out is None:
+            return 0
     db = generate(config)
     write_dat(db, args.out)
     stats = db.stats()

@@ -84,12 +84,29 @@ class PackedFileWriter:
         self._total = 0
         self._flush_items = max(1, flush_items)
         self._handle = open(self._sidecar, "wb")
-        self._done = False
+        self._finalized = False
+        self._aborted = False
+
+    @property
+    def _done(self) -> bool:
+        return self._finalized or self._aborted
+
+    def _state_error(self, verb: str) -> ValueError:
+        state = "finalized" if self._finalized else "aborted"
+        return ValueError(
+            f"cannot {verb} a PackedFileWriter for {self.path} that was "
+            f"already {state}"
+        )
 
     def append(self, transaction: Sequence[int]) -> None:
-        """Append one transaction (validates the int32 item range)."""
+        """Append one transaction (validates the int32 item range).
+
+        Out-of-range items raise exactly the error
+        :meth:`~repro.core.packed.PackedDB.pack` raises for the same
+        input, so streamed and in-memory packing fail identically.
+        """
         if self._done:
-            raise ValueError("writer is already finalized or aborted")
+            raise self._state_error("append to")
         _extend_checked(self._buffer, transaction)
         self._total += len(transaction)
         if self._total > INT32_MAX:
@@ -108,8 +125,8 @@ class PackedFileWriter:
     def finalize(self) -> Path:
         """Assemble the store file at ``path`` and return its path."""
         if self._done:
-            raise ValueError("writer is already finalized or aborted")
-        self._done = True
+            raise self._state_error("finalize")
+        self._finalized = True
         self._handle.write(self._buffer.tobytes())
         del self._buffer[:]
         self._handle.close()
@@ -127,17 +144,32 @@ class PackedFileWriter:
                         out.write(chunk)
                 out.flush()
                 os.fsync(out.fileno())
+        except BaseException:
+            # A half-spliced store must not survive looking finished:
+            # the contract is "complete file or no file".
+            self._finalized = False
+            self._aborted = True
+            self.path.unlink(missing_ok=True)
+            raise
         finally:
             self._sidecar.unlink(missing_ok=True)
         return self.path
 
     def abort(self) -> None:
-        """Drop all buffered state and both files; idempotent."""
+        """Drop buffered state and any partial files; idempotent.
+
+        The sidecar is always removed.  The store file itself is only
+        removed when :meth:`finalize` never completed — aborting after
+        a successful finalize is a no-op on the finished store, so a
+        belt-and-braces ``abort()`` in caller cleanup can never destroy
+        data that was already durably written.
+        """
         if not self._handle.closed:
             self._handle.close()
-        self._done = True
         self._sidecar.unlink(missing_ok=True)
-        self.path.unlink(missing_ok=True)
+        if not self._finalized:
+            self._aborted = True
+            self.path.unlink(missing_ok=True)
 
     def __enter__(self) -> "PackedFileWriter":
         return self

@@ -36,12 +36,13 @@ import math
 import random
 from dataclasses import dataclass, replace
 from itertools import accumulate
-from typing import List
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional
 
 from ..core.items import Itemset
 from ..core.transaction import TransactionDB
 
-__all__ = ["QuestConfig", "QuestGenerator", "generate"]
+__all__ = ["QuestConfig", "QuestGenerator", "generate", "generate_to_file"]
 
 
 @dataclass(frozen=True)
@@ -149,11 +150,24 @@ class QuestGenerator:
         """Sample a pattern index proportionally to its weight."""
         return bisect.bisect_left(self._cumulative_weights, self._rng.random())
 
-    def generate(self) -> TransactionDB:
-        """Emit the full transaction database for this configuration."""
+    def iter_transactions(self) -> Iterator[Itemset]:
+        """Yield the configuration's transactions one at a time.
+
+        This is the streaming spine of the generator: one canonical
+        (sorted, deduplicated) tuple per transaction, in the exact
+        order — and from the exact PRNG draw sequence — that
+        :meth:`generate` materializes.  Nothing beyond the current
+        basket is held in memory, so arbitrarily large databases can be
+        spilled straight to disk (:func:`generate_to_file`) without
+        ever existing in RAM.
+
+        The iterator consumes the generator's single PRNG stream, so it
+        is one-shot per :class:`QuestGenerator` instance: build a fresh
+        generator (same config, same seed) to replay the identical
+        database.
+        """
         rng = self._rng
         config = self.config
-        transactions: List[Itemset] = []
         for _ in range(config.num_transactions):
             target = max(1, self._poisson(config.avg_transaction_length))
             basket: set[int] = set()
@@ -184,10 +198,65 @@ class QuestGenerator:
                 basket.update(planted)
             if not basket:
                 basket.add(rng.randrange(config.num_items))
-            transactions.append(tuple(sorted(basket)))
-        return TransactionDB.from_canonical(transactions)
+            yield tuple(sorted(basket))
+
+    def generate(self) -> TransactionDB:
+        """Emit the full transaction database for this configuration."""
+        return TransactionDB.from_canonical(list(self.iter_transactions()))
+
+    def generate_to_file(
+        self,
+        path,
+        progress: Optional[Callable[[int, int], None]] = None,
+        progress_every: int = 100_000,
+    ) -> Path:
+        """Stream the database straight into a packed store file.
+
+        Transactions flow from :meth:`iter_transactions` into a
+        :class:`~repro.core.mmapdb.PackedFileWriter`, so peak RAM is the
+        writer's flush buffer plus the offsets table — constant in the
+        items dimension regardless of ``num_transactions``.  The
+        finished file is byte-identical to
+        ``write_packed_file(generator.generate(), path)`` for the same
+        config and seed, and is attachable with
+        :meth:`~repro.core.mmapdb.MmapPackedDB.attach`.
+
+        Args:
+            path: destination store-file path.
+            progress: optional callback invoked as ``progress(written,
+                total)`` every ``progress_every`` transactions and once
+                at the end (the CLI's generation progress line).
+            progress_every: callback cadence in transactions.
+
+        Returns:
+            The written path.
+        """
+        from ..core.mmapdb import PackedFileWriter
+
+        total = self.config.num_transactions
+        every = max(1, progress_every)
+        with PackedFileWriter(path) as writer:
+            for written, transaction in enumerate(self.iter_transactions(), 1):
+                writer.append(transaction)
+                if progress is not None and written % every == 0:
+                    progress(written, total)
+        if progress is not None:
+            progress(total, total)
+        return writer.path
 
 
 def generate(config: QuestConfig) -> TransactionDB:
     """One-shot convenience: build a generator and produce its database."""
     return QuestGenerator(config).generate()
+
+
+def generate_to_file(
+    config: QuestConfig,
+    path,
+    progress: Optional[Callable[[int, int], None]] = None,
+    progress_every: int = 100_000,
+) -> Path:
+    """One-shot convenience: stream ``config``'s database to a store file."""
+    return QuestGenerator(config).generate_to_file(
+        path, progress=progress, progress_every=progress_every
+    )

@@ -1,0 +1,79 @@
+"""Process memory observability and enforcement — stdlib only.
+
+The out-of-core story needs two primitives the rest of the repo can
+share without a third-party dependency:
+
+* :func:`peak_rss_bytes` — the calling process's high-water resident
+  set size, read from ``getrusage`` (``ru_maxrss``).  Workers sample it
+  into their reply frames so each pass's
+  :attr:`~repro.parallel.native.PassOverhead.peak_rss_bytes` records
+  the largest footprint any process touched while counting it.
+* :func:`set_memory_limit` — an ``RLIMIT_DATA`` cap the scale bench
+  applies to itself before mining, so "runs in X MB" is enforced by
+  the kernel rather than asserted after the fact.  ``RLIMIT_DATA`` is
+  deliberate: since Linux 4.7 it covers the heap *and* private
+  anonymous mappings (where CPython and numpy allocate), while leaving
+  file-backed mappings — the mmap'd packed store, shared libraries,
+  ``/dev/shm`` segments — uncounted.  That is exactly the out-of-core
+  contract: the *working* memory is bounded, the disk-backed store is
+  not.  ``RLIMIT_AS`` would charge the store mapping itself against
+  the cap and defeat the point.
+
+Platform notes: ``ru_maxrss`` is kibibytes on Linux and bytes on
+macOS; :func:`peak_rss_bytes` normalizes.  On platforms without the
+:mod:`resource` module (Windows) both functions degrade gracefully —
+``peak_rss_bytes`` returns 0 and ``set_memory_limit`` is a no-op
+returning ``False``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["peak_rss_bytes", "set_memory_limit"]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unknown).
+
+    Monotone over the process lifetime — ``getrusage`` reports the
+    high-water mark, so sampling after a pass bounds everything the
+    pass (and all earlier work) ever had resident at once.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def set_memory_limit(max_bytes: int) -> bool:
+    """Cap this process's data segment at ``max_bytes`` via ``RLIMIT_DATA``.
+
+    Child processes inherit the limit, so a miner that sets it before
+    spawning its pool caps every worker too.  Returns ``True`` when the
+    limit was applied, ``False`` when the platform has no
+    :mod:`resource` module or refuses the change (e.g. raising a hard
+    limit without privilege).
+
+    Raises:
+        ValueError: if ``max_bytes`` is not positive.
+    """
+    if max_bytes < 1:
+        raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return False
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_DATA)
+        if hard != resource.RLIM_INFINITY and hard < max_bytes:
+            max_bytes = hard
+        resource.setrlimit(resource.RLIMIT_DATA, (max_bytes, hard))
+    except (ValueError, OSError):  # pragma: no cover - refused by the OS
+        return False
+    return True

@@ -125,6 +125,8 @@ from ..core.packed import (
 from ..core.transaction import TransactionDB
 from ..core.vertical import TidBitmapCache
 from ..faults import FaultEvent, FaultRecord, FaultSpec
+from ..memprof import peak_rss_bytes
+from .son import merge_candidates, mine_blocks, superset_size
 
 __all__ = [
     "NativeCountDistribution",
@@ -138,6 +140,12 @@ __all__ = [
 # in `ps` output while debugging, invisible to the recovery logic (any
 # pipe EOF is "died").
 _KILLED_EXIT = 17
+
+# Fault-schedule key for SON phase-1 local mining: it is the first work
+# the pool does (right after the serial pass 1), so worker events
+# declared for pass 2 — the earliest pass a spec can name — fire there
+# under a two-phase mine.  Each event still fires exactly once.
+_SON_FAULT_K = 2
 
 DATA_PLANES = ("pickle", "shared", "mmap")
 
@@ -215,6 +223,14 @@ class PassOverhead:
       decoding the candidate segment (max across workers, like
       ``shift_s``); near-zero when the worker's cached plane counter
       for that segment is reused, e.g. every warm-pool re-mine.
+
+    ``peak_rss_bytes`` is the memory-observability column: the largest
+    peak resident set size any process touched while the pass ran — the
+    max over every worker's reply-frame sample and the coordinator's
+    own :func:`~repro.memprof.peak_rss_bytes`.  ``ru_maxrss`` is a
+    process-lifetime high-water mark, so the column is monotone across
+    a run's passes; the scale bench reads the last pass's value as the
+    run's footprint.
     """
 
     k: int
@@ -230,6 +246,7 @@ class PassOverhead:
     intersect_s: float = 0.0
     cand_build_s: float = 0.0
     cand_attach_s: float = 0.0
+    peak_rss_bytes: int = 0
 
     @property
     def coordinator_s(self) -> float:
@@ -242,6 +259,25 @@ class PassOverhead:
         if self.prune_checked == 0:
             return 0.0
         return self.prune_skipped / self.prune_checked
+
+
+def _even_bounds(num_transactions: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_transactions)`` into ``parts`` contiguous ranges.
+
+    The packed-store analogue of
+    :meth:`~repro.core.transaction.TransactionDB.partition_bounds`:
+    identical arithmetic (base size plus one extra for the first
+    ``remainder`` parts), so a mine over ``db.to_packed()`` and one over
+    ``db`` hand workers the same ranges.
+    """
+    base, extra = divmod(num_transactions, parts)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
 
 
 # ----------------------------------------------------------------------
@@ -338,6 +374,7 @@ class _SharedSegments:
         packed: PackedDB,
         num_slots: int,
         store_dir: Optional[str] = None,
+        external_path: Optional[Path] = None,
     ):
         self._live: Dict[str, shared_memory.SharedMemory] = {}
         self._closed = False
@@ -347,7 +384,14 @@ class _SharedSegments:
         self._cand_names: Dict[int, str] = {}
         self._store_path: Optional[Path] = None
         try:
-            if store_dir is None:
+            if external_path is not None:
+                # The store already lives on disk (an attached
+                # MmapPackedDB, e.g. a generate-to-disk product):
+                # workers map the caller's file directly — nothing is
+                # written, and close() leaves the file alone because
+                # its lifetime belongs to whoever created it.
+                self.store_ref = ("mmap", str(external_path))
+            elif store_dir is None:
                 store = self._create("db", packed_nbytes(packed))
                 write_packed_into(packed, store.buf)
                 self.store_ref = ("shm", store.name)
@@ -553,6 +597,11 @@ def _worker_main(
     * ``("adopt", seq, new_holdings, k, payload)`` — permanently add a
       dead peer's holdings and count *only those* for the current pass
       (the worker already returned its own counts);
+    * ``("mine", seq, (min_support, max_k))`` — SON phase 1 (zero-copy
+      planes only): locally mine the held ranges as one partition at
+      partition-scaled support (:func:`repro.parallel.son.mine_blocks`)
+      and reply ``("mined", seq, (candidates_by_k, peak_rss))``;
+      injected worker faults fire here under the ``_SON_FAULT_K`` key;
     * ``None`` — shut down.
 
     ``payload`` carries the candidates: the pickled list on the pickle
@@ -569,13 +618,14 @@ def _worker_main(
     decode and no counter rebuild.
 
     Reply frames (worker → parent): ``("ok", seq, (body, build_s,
-    intersect_s, attach_s))`` — ``body`` is the count vector on the
-    pickle plane and the number of counts written on the shared plane;
-    ``build_s``/``intersect_s`` are the worker's bitmap-kernel build and
-    intersection seconds (zero under the pure tree kernels) and
+    intersect_s, attach_s, peak_rss))`` — ``body`` is the count vector
+    on the pickle plane and the number of counts written on the shared
+    plane; ``build_s``/``intersect_s`` are the worker's bitmap-kernel
+    build and intersection seconds (zero under the pure tree kernels),
     ``attach_s`` its candidate-plane attach+decode seconds (zero on the
-    pickle plane and on cache hits) — or ``("error", seq, message)``
-    when counting raised — the parent surfaces the message instead of
+    pickle plane and on cache hits), and ``peak_rss`` the worker's
+    :func:`~repro.memprof.peak_rss_bytes` sample — or ``("error", seq,
+    message)`` when counting raised — the parent surfaces the message instead of
     seeing a silent death.  Every reply echoes the request's ``seq``, so
     the parent can tell a reply to the frame it just sent from a late
     reply to an earlier frame (a slow worker's stale pass reply must
@@ -632,6 +682,39 @@ def _worker_main(
             message = _recv_command(conn)
             if message is None:
                 break
+            if message[0] == "mine":
+                _, seq, (son_support, son_max_k) = message
+                kill = take("kill", _SON_FAULT_K)
+                if kill is not None and kill.when == "before":
+                    os._exit(_KILLED_EXIT)
+                delay = take("delay", _SON_FAULT_K)
+                corrupt = take("corrupt", _SON_FAULT_K)
+                try:
+                    if take("error", _SON_FAULT_K) is not None:
+                        raise RuntimeError(
+                            "injected worker error at SON phase 1"
+                        )
+                    mined = mine_blocks(
+                        packed,
+                        holdings,
+                        son_support,
+                        kernel=kernel,
+                        branching=branching,
+                        leaf_capacity=leaf_capacity,
+                        max_k=son_max_k,
+                        cache=cache,
+                    )
+                except Exception as exc:  # surfaced, never swallowed
+                    conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+                    continue
+                if kill is not None:  # when == "mid": die after the work
+                    os._exit(_KILLED_EXIT)
+                if delay is not None:
+                    time.sleep(delay.delay)
+                if corrupt is not None:
+                    mined = None  # type: ignore[assignment]
+                conn.send(("mined", seq, (mined, peak_rss_bytes())))
+                continue
             if message[0] == "adopt":
                 _, seq, new_holdings, k, payload = message
                 holdings.extend(new_holdings)
@@ -712,7 +795,10 @@ def _worker_main(
                 body: object = len(vector)
             else:
                 body = vector
-            conn.send(("ok", seq, (body, build_s, intersect_s, attach_s)))
+            conn.send(
+                ("ok", seq,
+                 (body, build_s, intersect_s, attach_s, peak_rss_bytes()))
+            )
     except EOFError:
         pass
     finally:
@@ -771,6 +857,10 @@ class _WorkerPool:
             array-backed copy for the in-process recovery rung.
         store_dir: mmap plane only — directory the store file is
             written into (defaults to the platform temp directory).
+        external_store: mmap plane only — path of an *existing* store
+            file (an attached :class:`~repro.core.mmapdb.MmapPackedDB`,
+            e.g. a generate-to-disk product); workers map it directly,
+            nothing is copied or written, and the pool never unlinks it.
         recv_timeout: per-pass reply deadline in seconds; receives are
             poll-based so no call blocks past it.
         max_retries: respawn attempts per failed worker (beyond these
@@ -791,6 +881,7 @@ class _WorkerPool:
         data_plane: str = "shared",
         packed: Optional[PackedDB] = None,
         store_dir: Optional[str] = None,
+        external_store: Optional[Path] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
         backoff_base: float = 0.05,
@@ -834,14 +925,19 @@ class _WorkerPool:
                         "packed store"
                     )
                 mmap_dir: Optional[str] = None
-                if self._plane == "mmap":
+                if self._plane == "mmap" and external_store is None:
                     mmap_dir = (
                         store_dir
                         if store_dir is not None
                         else tempfile.gettempdir()
                     )
                 self._segments = _SharedSegments(
-                    packed, len(holdings), store_dir=mmap_dir
+                    packed,
+                    len(holdings),
+                    store_dir=mmap_dir,
+                    external_path=(
+                        external_store if self._plane == "mmap" else None
+                    ),
                 )
             for wid, holding in enumerate(holdings):
                 events = self._faults.worker_events(wid)
@@ -937,6 +1033,9 @@ class _WorkerPool:
                     overhead.cand_attach_s = max(
                         overhead.cand_attach_s, timings[2]
                     )
+                    overhead.peak_rss_bytes = max(
+                        overhead.peak_rss_bytes, timings[3]
+                    )
                     for index, count in enumerate(vector):
                         totals[index] += count
             overhead.reduce_s += time.perf_counter() - tick
@@ -959,6 +1058,11 @@ class _WorkerPool:
             vector = self._count_inprocess(fallback_snapshot, k, candidates)
             for index, count in enumerate(vector):
                 totals[index] += count
+        # Fold in the coordinator's own high-water mark, so the column
+        # covers every process the pass touched.
+        overhead.peak_rss_bytes = max(
+            overhead.peak_rss_bytes, peak_rss_bytes()
+        )
         self.pass_overheads.append(overhead)
         return totals
 
@@ -992,9 +1096,9 @@ class _WorkerPool:
 
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int
-    ) -> Tuple[Optional[List[int]], str, Tuple[float, float, float]]:
+    ) -> Tuple[Optional[List[int]], str, Tuple[float, float, float, int]]:
         """Read one reply frame; return (vector, "", timings) or
-        (None, failure, (0, 0, 0)).
+        (None, failure, (0, 0, 0, 0)).
 
         A reply echoing a sequence number other than ``seq`` answers an
         *earlier* request (a slow worker draining its queue) and is
@@ -1002,16 +1106,17 @@ class _WorkerPool:
         waiting rather than mistaking it for the current reply — even
         when the payload happens to have the expected length.
 
-        The ok-payload is ``(body, build_s, intersect_s, attach_s)``;
-        ``body`` on the zero-copy planes is the number of counts the
-        worker wrote to its slot — a mismatch (e.g. an injected
-        truncated vector) is ``"corrupt"``, exactly as a short pickled
-        list is.
+        The ok-payload is ``(body, build_s, intersect_s, attach_s,
+        peak_rss)``; ``body`` on the zero-copy planes is the number of
+        counts the worker wrote to its slot — a mismatch (e.g. an
+        injected truncated vector) is ``"corrupt"``, exactly as a short
+        pickled list is.
         The timings are the worker's bitmap-kernel build/intersect
-        seconds (zero under pure tree kernels) and its candidate-plane
-        attach seconds for the request.
+        seconds (zero under pure tree kernels), its candidate-plane
+        attach seconds for the request, and its peak-RSS sample in
+        bytes.
         """
-        no_timing = (0.0, 0.0, 0.0)
+        no_timing = (0.0, 0.0, 0.0, 0)
         try:
             frame = conn.recv()
         except (EOFError, OSError):
@@ -1027,10 +1132,10 @@ class _WorkerPool:
             )
         if tag != "ok":
             return None, "corrupt", no_timing
-        if not (isinstance(payload, tuple) and len(payload) == 4):
+        if not (isinstance(payload, tuple) and len(payload) == 5):
             return None, "corrupt", no_timing
-        body, build_s, intersect_s, attach_s = payload
-        timings = (build_s, intersect_s, attach_s)
+        body, build_s, intersect_s, attach_s, peak_rss = payload
+        timings = (build_s, intersect_s, attach_s, int(peak_rss))
         if self._plane != "pickle":
             if body != expected:
                 return None, "corrupt", no_timing
@@ -1038,6 +1143,197 @@ class _WorkerPool:
         if not isinstance(body, list) or len(body) != expected:
             return None, "corrupt", no_timing
         return body, "", timings
+
+    # ------------------------------------------------------------------
+    # SON phase 1 (two-phase counting)
+    # ------------------------------------------------------------------
+
+    def mine_local_candidates(
+        self, min_support: float, max_k: Optional[int]
+    ) -> Dict[int, List[Itemset]]:
+        """Fan SON phase 1 out to every worker; return the merged superset.
+
+        Each worker mines its own holdings as one partition at
+        partition-scaled support (:func:`repro.parallel.son.mine_blocks`)
+        and ships back its local frequent sets; the union — a superset
+        of every global F_k — is what phase 2's counting passes run
+        over.  Failed workers walk the same ladder as a counting pass
+        minus adoption (a survivor would have to re-mine foreign ranges
+        it will never hold again): respawn with retries, then
+        in-process — so the merged superset always covers every
+        partition exactly once.  The phase is recorded as a ``k=0``
+        :class:`PassOverhead` whose ``num_candidates`` is the superset
+        size.
+        """
+        overhead = PassOverhead(k=0, num_candidates=0)
+        parts: List[Dict[int, List[Itemset]]] = []
+        failures: List[Tuple[int, str]] = []
+        pending: Dict[object, Tuple[int, int]] = {}
+        request = (min_support, max_k)
+        tick = time.perf_counter()
+        for wid, slot in list(self._slots.items()):
+            seq = self._next_seq()
+            try:
+                slot.conn.send(("mine", seq, request))
+                pending[slot.conn] = (wid, seq)
+            except (BrokenPipeError, OSError, ValueError):
+                failures.append((wid, "died"))
+        overhead.broadcast_s = time.perf_counter() - tick
+        deadline = time.monotonic() + self.recv_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            tick = time.perf_counter()
+            ready = _connection_wait(list(pending), timeout=remaining)
+            overhead.wait_s += time.perf_counter() - tick
+            tick = time.perf_counter()
+            for conn in ready:
+                wid, seq = pending[conn]
+                mined, failure, peak = self._read_mine_reply(conn, wid, seq)
+                if failure == "stale":
+                    continue
+                del pending[conn]
+                if mined is None:
+                    failures.append((wid, failure))
+                else:
+                    parts.append(mined)
+                    overhead.peak_rss_bytes = max(
+                        overhead.peak_rss_bytes, peak
+                    )
+            overhead.reduce_s += time.perf_counter() - tick
+        for wid, _seq in pending.values():
+            failures.append((wid, "timeout"))
+        for wid, failure in failures:
+            parts.append(self._recover_mine(wid, min_support, max_k, failure))
+        if self._fallback_holdings:
+            parts.append(
+                mine_blocks(
+                    self._packed,
+                    self._fallback_holdings,
+                    min_support,
+                    kernel=self._kernel,
+                    branching=self._branching,
+                    leaf_capacity=self._leaf_capacity,
+                    max_k=max_k,
+                    cache=self._inprocess_cache,
+                )
+            )
+        merged = merge_candidates(parts)
+        overhead.num_candidates = superset_size(merged)
+        overhead.peak_rss_bytes = max(
+            overhead.peak_rss_bytes, peak_rss_bytes()
+        )
+        self.pass_overheads.append(overhead)
+        return merged
+
+    def _read_mine_reply(
+        self, conn, wid: int, seq: int
+    ) -> Tuple[Optional[Dict[int, List[Itemset]]], str, int]:
+        """Read one phase-1 reply; return (mined, "", peak) or
+        (None, failure, 0).
+
+        Mirrors :meth:`_read_reply`'s frame discipline: stale sequence
+        numbers are reported (and skipped by the caller), a structured
+        error frame raises :class:`WorkerError`, and anything malformed
+        — including the injected-corruption ``None`` body — is
+        ``"corrupt"``.
+        """
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            return None, "died", 0
+        if not (isinstance(frame, tuple) and len(frame) == 3):
+            return None, "corrupt", 0
+        tag, frame_seq, payload = frame
+        if frame_seq != seq:
+            return None, "stale", 0
+        if tag == "error":
+            raise WorkerError(
+                f"worker {wid} failed at SON phase 1: {payload}"
+            )
+        if tag != "mined":
+            return None, "corrupt", 0
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return None, "corrupt", 0
+        mined, peak = payload
+        if not isinstance(mined, dict):
+            return None, "corrupt", 0
+        return mined, "", int(peak)
+
+    def _ask_mine(
+        self, slot: _Slot, wid: int, min_support: float, max_k: Optional[int]
+    ) -> Optional[Dict[int, List[Itemset]]]:
+        """Ask one slot to mine its holdings; poll-bounded, or ``None``."""
+        seq = self._next_seq()
+        try:
+            slot.conn.send(("mine", seq, (min_support, max_k)))
+        except (BrokenPipeError, OSError, ValueError):
+            return None
+        deadline = time.monotonic() + self.recv_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not slot.conn.poll(remaining):
+                return None
+            mined, failure, _peak = self._read_mine_reply(
+                slot.conn, wid, seq
+            )
+            if failure != "stale":
+                return mined
+
+    def _recover_mine(
+        self, wid: int, min_support: float, max_k: Optional[int], failure: str
+    ) -> Dict[int, List[Itemset]]:
+        """Re-mine a failed worker's partition; reassign it for phase 2.
+
+        Respawn with retries and backoff (a replacement re-attaches the
+        store by reference and re-mines from scratch), else the
+        partition moves in-process — for this phase *and*, via
+        ``_fallback_holdings``, for every phase-2 counting pass.  Fault
+        records are logged under ``_SON_FAULT_K``, the schedule key the
+        phase consumes worker events from.
+        """
+        slot = self._slots.pop(wid, None)
+        if slot is None:  # pragma: no cover - defensive; one recovery
+            # per wid, as in _recover.
+            return {}
+        holdings = slot.holdings
+        future_events = [e for e in slot.events if e.k > _SON_FAULT_K]
+        self._discard(slot)
+
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                time.sleep(self.backoff_base * (2 ** (attempt - 1)))
+            attempts += 1
+            replacement = self._spawn(wid, holdings, future_events, gated=True)
+            if replacement is None:
+                continue
+            mined = self._ask_mine(replacement, wid, min_support, max_k)
+            if mined is not None:
+                self._slots[wid] = replacement
+                self.fault_log.append(
+                    FaultRecord(
+                        _SON_FAULT_K, wid, failure, "respawned", attempts
+                    )
+                )
+                return mined
+            self._discard(replacement)
+
+        self._fallback_holdings.extend(holdings)
+        self.fault_log.append(
+            FaultRecord(_SON_FAULT_K, wid, failure, "inprocess", attempts)
+        )
+        return mine_blocks(
+            self._packed,
+            holdings,
+            min_support,
+            kernel=self._kernel,
+            branching=self._branching,
+            leaf_capacity=self._leaf_capacity,
+            max_k=max_k,
+            cache=self._inprocess_cache,
+        )
 
     # ------------------------------------------------------------------
     # Recovery ladder
@@ -1287,6 +1583,22 @@ class NativeCountDistribution:
             (:meth:`~repro.core.packed.PackedDB.block_bounds`), so a
             pass streams the store block by block instead of touching a
             whole partition at once (the out-of-core counting mode).
+        two_phase: SON/partition two-phase counting (zero-copy planes
+            only).  Phase 1: every worker mines its own partition
+            locally at partition-scaled support
+            (:mod:`repro.parallel.son`), and the merged union — a
+            provable superset of every global F_k — replaces
+            ``generate_candidates`` as the candidate source.  Phase 2:
+            the ordinary counting passes run over that superset and
+            filter at the global threshold, so results stay
+            bit-identical to single-phase Apriori while per-pass
+            candidate memory is bounded by what was *locally* frequent
+            somewhere, not by the full C_k.  With ``checkpoint_dir``
+            the phase-1 superset is journaled too, so a resumed mine
+            reuses it instead of re-mining the partitions.
+        progress: optional callable invoked with one human-readable
+            line after phase 1 and after every counting pass (the CLI's
+            ``--two-phase`` progress reporting).
         checkpoint_dir: persist one durable checkpoint record per
             completed pass into this directory's ``journal.repro``
             (see :mod:`repro.checkpoint`), so a coordinator killed
@@ -1347,6 +1659,8 @@ class NativeCountDistribution:
         block_budget: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        two_phase: bool = False,
+        progress=None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -1381,6 +1695,11 @@ class NativeCountDistribution:
                     "('shared' or 'mmap'); the pickle plane ships "
                     "materialized blocks"
                 )
+        if two_phase and self.data_plane == "pickle":
+            raise ValueError(
+                "two_phase requires a zero-copy data plane ('shared' or "
+                "'mmap'); SON phase 1 mines packed store ranges in place"
+            )
         if resume and checkpoint_dir is None:
             raise ValueError(
                 "resume=True requires a checkpoint_dir to resume from"
@@ -1389,6 +1708,8 @@ class NativeCountDistribution:
         self.block_budget = block_budget
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.two_phase = two_phase
+        self.progress = progress
         self.fault_log: List[FaultRecord] = []
         self.last_pool_size = 0
         self.last_pass_overheads: List[PassOverhead] = []
@@ -1426,7 +1747,7 @@ class NativeCountDistribution:
             len(faults) > 0 or faults.refusals() > 0
         )
 
-    def _acquire_pool(self, db: TransactionDB) -> _WorkerPool:
+    def _acquire_pool(self, db) -> _WorkerPool:
         """Reuse the kept warm pool for ``db``, or build a fresh one.
 
         Reuse requires the *same* database object (holdings and the
@@ -1455,21 +1776,45 @@ class NativeCountDistribution:
         # when num_workers exceeds the transaction count, and an empty
         # block would pin an idle process for the whole run.
         packed: Optional[PackedDB] = None
+        external_store: Optional[Path] = None
         if self.data_plane != "pickle":
             # Pack once; workers attach the store (segment or file) and
             # hold (lo, hi) ranges into it.  The array-backed copy stays
             # in the parent for the in-process recovery rung.  A block
             # budget splits each worker's partition into bounded
             # sub-ranges so a pass streams the store block by block.
-            packed = db.to_packed()
+            # An already-packed db is used as-is; when it is an attached
+            # store file and the plane is mmap, workers map the caller's
+            # file directly — the out-of-core generate-once/attach-many
+            # path never copies the database anywhere.
+            if isinstance(db, PackedDB):
+                packed = db
+                from ..core.mmapdb import MmapPackedDB
+
+                if (
+                    self.data_plane == "mmap"
+                    and isinstance(db, MmapPackedDB)
+                    and not db.closed
+                ):
+                    external_store = db.path
+                bounds = _even_bounds(len(db), self.num_workers)
+            else:
+                packed = db.to_packed()
+                bounds = db.partition_bounds(self.num_workers)
             holdings = [
                 packed.block_bounds(self.block_budget, lo, hi)
                 if self.block_budget is not None
                 else [(lo, hi)]
-                for lo, hi in db.partition_bounds(self.num_workers)
+                for lo, hi in bounds
                 if hi > lo
             ]
         else:
+            if isinstance(db, PackedDB):
+                raise ValueError(
+                    "a packed store can only be mined on a zero-copy "
+                    "data plane ('shared' or 'mmap'); the pickle plane "
+                    "ships materialized TransactionDB blocks"
+                )
             holdings = [
                 [list(part.transactions)]
                 for part in db.partition(self.num_workers)
@@ -1489,6 +1834,7 @@ class NativeCountDistribution:
             data_plane=self.data_plane,
             packed=packed,
             store_dir=self.store_dir,
+            external_store=external_store,
             recv_timeout=self.recv_timeout,
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
@@ -1511,8 +1857,16 @@ class NativeCountDistribution:
             self._pool, self._pool_db = None, None
         pool.shutdown()
 
-    def mine(self, db: TransactionDB) -> AprioriResult:
-        """Mine ``db`` with counting fanned out over worker processes."""
+    def mine(self, db) -> AprioriResult:
+        """Mine ``db`` with counting fanned out over worker processes.
+
+        ``db`` is a :class:`~repro.core.transaction.TransactionDB` or —
+        on the zero-copy planes — an already-packed
+        :class:`~repro.core.packed.PackedDB`, including an attached
+        :class:`~repro.core.mmapdb.MmapPackedDB` store file (the
+        generate-to-disk product); on the mmap plane workers map an
+        attached file directly, so the database is never copied.
+        """
         min_count = min_support_count(self.min_support, max(1, len(db)))
         result = AprioriResult(
             frequent={},
@@ -1549,10 +1903,36 @@ class NativeCountDistribution:
             clean = False
             try:
                 self.last_pool_size = pool.num_workers
+                candidates_by_k: Optional[Dict[int, List[Itemset]]] = None
+                if self.two_phase:
+                    restored = (
+                        session.phase1 if session is not None else None
+                    )
+                    if restored is not None:
+                        # The journaled superset: a killed phase 2
+                        # resumes over the exact candidates it was
+                        # counting, no partitions re-mined.
+                        candidates_by_k = merge_candidates([restored])
+                    else:
+                        candidates_by_k = pool.mine_local_candidates(
+                            self.min_support, self.max_k
+                        )
+                        if session is not None:
+                            session.record_phase1(candidates_by_k)
+                    if self.progress is not None:
+                        self.progress(
+                            "two-phase: phase 1 complete — "
+                            f"{superset_size(candidates_by_k)} superset "
+                            f"candidates across {len(candidates_by_k)} "
+                            "pass sizes"
+                        )
                 while frequent_prev and (
                     self.max_k is None or k <= self.max_k
                 ):
-                    candidates = generate_candidates(frequent_prev)
+                    if candidates_by_k is not None:
+                        candidates = candidates_by_k.get(k, [])
+                    else:
+                        candidates = generate_candidates(frequent_prev)
                     if not candidates:
                         break
                     totals = pool.count_pass(k, candidates)
@@ -1577,6 +1957,12 @@ class NativeCountDistribution:
                             pool.refusals_consumed,
                         )
                     fire_coordinator_kill(self._active_faults, k)
+                    if self.progress is not None and self.two_phase:
+                        self.progress(
+                            f"two-phase: pass {k} counted "
+                            f"{len(candidates)} superset candidates -> "
+                            f"{len(frequent_k)} frequent"
+                        )
                     frequent_prev = sorted(frequent_k)
                     k += 1
                 self.fault_log = list(pool.fault_log)
@@ -1628,25 +2014,29 @@ class NativeCountDistribution:
         return session, frequent_prev, next_k
 
     def _pass_one(
-        self, db: TransactionDB, min_count: int, result: AprioriResult
+        self, db, min_count: int, result: AprioriResult
     ) -> List[Itemset]:
         return serial_pass_one(db, min_count, result)
 
 
 def serial_pass_one(
-    db: TransactionDB, min_count: int, result: AprioriResult
+    db, min_count: int, result: AprioriResult
 ) -> List[Itemset]:
     """Serial pass 1 shared by every native miner.
 
     A single item scan is not worth process overhead, so all native
     modes (CD, IDD, HD) count it in the parent and only fan out from
-    pass 2.  Appends the pass trace to ``result`` and returns the sorted
-    frequent 1-item-sets.
+    pass 2.  ``db`` is a :class:`~repro.core.transaction.TransactionDB`
+    or an already-packed :class:`~repro.core.packed.PackedDB` (e.g. an
+    attached store file), scanned through zero-copy slices in the
+    latter case.  Appends the pass trace to ``result`` and returns the
+    sorted frequent 1-item-sets.
     """
     from collections import Counter
 
     item_counts: Counter = Counter()
-    for transaction in db:
+    transactions = db.slices() if isinstance(db, PackedDB) else db
+    for transaction in transactions:
         item_counts.update(transaction)
     frequent_1 = {
         (item,): count

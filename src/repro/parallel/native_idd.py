@@ -88,6 +88,7 @@ from ..checkpoint import (
     fire_coordinator_kill,
 )
 from ..faults import FaultEvent, FaultRecord, FaultSpec
+from ..memprof import peak_rss_bytes
 from .hybrid import choose_grid
 from .native import (
     _KILLED_EXIT,
@@ -96,6 +97,7 @@ from .native import (
     _attach_segment,
     _attach_store,
     _connection_wait,
+    _even_bounds,
     _recv_command,
     _SharedSegments,
     serial_pass_one,
@@ -283,14 +285,15 @@ def _worker_main(
     schedule of store slices to walk.
 
     Replies echo the request ``seq``: ``("ok", seq, (body, shift_s,
-    checked, skipped, build_s, intersect_s, attach_s))`` where ``body``
-    is the number of counts written to the shared slot (shared-plane
-    ``"pass"``) or the vector itself (everything else), ``build_s`` /
-    ``intersect_s`` are the bitmap kernels' seconds (zero under the
-    tree kernels) and ``attach_s`` is the time spent attaching and
-    decoding the shared candidate plane (zero on the pickle plane and
-    on every cache hit), or ``("error", seq, message)`` when counting
-    raised.
+    checked, skipped, build_s, intersect_s, attach_s, peak_rss))``
+    where ``body`` is the number of counts written to the shared slot
+    (shared-plane ``"pass"``) or the vector itself (everything else),
+    ``build_s`` / ``intersect_s`` are the bitmap kernels' seconds (zero
+    under the tree kernels), ``attach_s`` is the time spent attaching
+    and decoding the shared candidate plane (zero on the pickle plane
+    and on every cache hit) and ``peak_rss`` the worker's
+    :func:`~repro.memprof.peak_rss_bytes` sample, or ``("error", seq,
+    message)`` when counting raised.
 
     The loop owns one cross-pass bitmap cache (vertical or fast-np);
     since a ring schedule tiles the whole store, one bitmap-kernel pass
@@ -418,7 +421,7 @@ def _worker_main(
             conn.send(
                 ("ok", seq,
                  (body, shift_s, checked, skipped,
-                  build_s, intersect_s, attach_s))
+                  build_s, intersect_s, attach_s, peak_rss_bytes()))
             )
     except EOFError:
         pass
@@ -451,18 +454,6 @@ def _worker_main(
                 store_holder.close()
             except BufferError:  # pragma: no cover - view still exported
                 pass
-
-
-def _even_bounds(num_transactions: int, parts: int) -> List[Tuple[int, int]]:
-    """Split ``[0, num_transactions)`` into ``parts`` contiguous ranges."""
-    base, extra = divmod(num_transactions, parts)
-    bounds: List[Tuple[int, int]] = []
-    lo = 0
-    for index in range(parts):
-        hi = lo + base + (1 if index < extra else 0)
-        bounds.append((lo, hi))
-        lo = hi
-    return bounds
 
 
 @dataclass(frozen=True)
@@ -515,6 +506,7 @@ class _PartitionedPool:
         refine_threshold: Optional[int] = None,
         data_plane: str = "shared",
         store_dir: Optional[str] = None,
+        external_store=None,
         block_budget: Optional[int] = None,
         recv_timeout: float = 30.0,
         max_retries: int = 2,
@@ -554,14 +546,19 @@ class _PartitionedPool:
         try:
             if self._plane != "pickle":
                 mmap_dir = None
-                if self._plane == "mmap":
+                if self._plane == "mmap" and external_store is None:
                     mmap_dir = (
                         store_dir
                         if store_dir is not None
                         else tempfile.gettempdir()
                     )
                 self._segments = _SharedSegments(
-                    packed, num_workers, store_dir=mmap_dir
+                    packed,
+                    num_workers,
+                    store_dir=mmap_dir,
+                    external_path=(
+                        external_store if self._plane == "mmap" else None
+                    ),
                 )
             for wid in range(num_workers):
                 events = self._faults.worker_events(wid)
@@ -700,6 +697,7 @@ class _PartitionedPool:
                 totals[index] += count
             overhead.reduce_s = time.perf_counter() - tick
             overhead.max_bin_candidates = len(candidates)
+            overhead.peak_rss_bytes = peak_rss_bytes()
             self.pass_overheads.append(overhead)
             return totals
         units, owned_idx, _rows = self._plan(candidates)
@@ -745,7 +743,7 @@ class _PartitionedPool:
                     continue
                 (
                     vector, shift_s, checked, skipped,
-                    build_s, intersect_s, attach_s,
+                    build_s, intersect_s, attach_s, peak_rss,
                 ) = reply
                 _scatter(totals, owned_idx[units[wid].row], vector)
                 overhead.shift_s = max(overhead.shift_s, shift_s)
@@ -757,6 +755,9 @@ class _PartitionedPool:
                 overhead.intersect_s = max(overhead.intersect_s, intersect_s)
                 overhead.cand_attach_s = max(
                     overhead.cand_attach_s, attach_s
+                )
+                overhead.peak_rss_bytes = max(
+                    overhead.peak_rss_bytes, peak_rss
                 )
             overhead.reduce_s += time.perf_counter() - tick
         for wid, _seq in pending.values():
@@ -773,6 +774,9 @@ class _PartitionedPool:
                 exclude=frozenset(unrecovered),
             )
             _scatter(totals, owned_idx[unit.row], vector)
+        overhead.peak_rss_bytes = max(
+            overhead.peak_rss_bytes, peak_rss_bytes()
+        )
         self.pass_overheads.append(overhead)
         return totals
 
@@ -783,7 +787,10 @@ class _PartitionedPool:
     def _read_reply(
         self, conn, wid: int, k: int, expected: int, seq: int, inline: bool
     ) -> Tuple[
-        Optional[Tuple[List[int], float, int, int, float, float, float]], str
+        Optional[
+            Tuple[List[int], float, int, int, float, float, float, int]
+        ],
+        str,
     ]:
         """Read one reply frame; ``(reply, "")`` or ``(None, failure)``.
 
@@ -807,11 +814,11 @@ class _PartitionedPool:
             raise WorkerError(f"worker {wid} failed at pass {k}: {payload}")
         if tag != "ok":
             return None, "corrupt"
-        if not (isinstance(payload, tuple) and len(payload) == 7):
+        if not (isinstance(payload, tuple) and len(payload) == 8):
             return None, "corrupt"
         (
             body, shift_s, checked, skipped,
-            build_s, intersect_s, attach_s,
+            build_s, intersect_s, attach_s, peak_rss,
         ) = payload
         if inline:
             if not isinstance(body, list) or len(body) != expected:
@@ -823,7 +830,7 @@ class _PartitionedPool:
             vector = self._segments.read_counts(wid, expected)
         return (
             vector, shift_s, checked, skipped,
-            build_s, intersect_s, attach_s,
+            build_s, intersect_s, attach_s, int(peak_rss),
         ), ""
 
     # ------------------------------------------------------------------
@@ -1232,7 +1239,7 @@ class NativePartitionedMiner:
             len(faults) > 0 or faults.refusals() > 0
         )
 
-    def _acquire_pool(self, db: TransactionDB) -> _PartitionedPool:
+    def _acquire_pool(self, db) -> _PartitionedPool:
         """Reuse the kept warm pool for ``db``, or build a fresh one.
 
         Reuse requires the same database object, no injected faults,
@@ -1258,8 +1265,28 @@ class NativePartitionedMiner:
         # Pack once; on the shared plane workers attach the store
         # segment, on the pickle plane each worker receives this copy at
         # spawn.  The parent keeps it either way for the in-process
-        # recovery rung.
-        packed = db.to_packed()
+        # recovery rung.  An already-packed db is used as-is, and an
+        # attached store file on the mmap plane is mapped by the workers
+        # directly (nothing copied, nothing unlinked at shutdown).
+        external_store = None
+        if isinstance(db, PackedDB):
+            if self.data_plane == "pickle":
+                raise ValueError(
+                    "a packed store can only be mined on a zero-copy "
+                    "data plane ('shared' or 'mmap'); the pickle plane "
+                    "ships the store into workers by value"
+                )
+            packed = db
+            from ..core.mmapdb import MmapPackedDB
+
+            if (
+                self.data_plane == "mmap"
+                and isinstance(db, MmapPackedDB)
+                and not db.closed
+            ):
+                external_store = db.path
+        else:
+            packed = db.to_packed()
         num_workers = max(1, min(self.num_workers, len(db)))
         context = (
             get_context(self.start_method)
@@ -1279,6 +1306,7 @@ class NativePartitionedMiner:
             refine_threshold=self.refine_threshold,
             data_plane=self.data_plane,
             store_dir=self.store_dir,
+            external_store=external_store,
             block_budget=self.block_budget,
             recv_timeout=self.recv_timeout,
             max_retries=self.max_retries,
@@ -1303,8 +1331,14 @@ class NativePartitionedMiner:
             self._pool, self._pool_db = None, None
         pool.shutdown()
 
-    def mine(self, db: TransactionDB) -> AprioriResult:
-        """Mine ``db`` with candidate-partitioned worker processes."""
+    def mine(self, db) -> AprioriResult:
+        """Mine ``db`` with candidate-partitioned worker processes.
+
+        ``db`` is a :class:`~repro.core.transaction.TransactionDB` or —
+        on the zero-copy planes — an already-packed
+        :class:`~repro.core.packed.PackedDB` / attached
+        :class:`~repro.core.mmapdb.MmapPackedDB` store file.
+        """
         min_count = min_support_count(self.min_support, max(1, len(db)))
         result = AprioriResult(
             frequent={},

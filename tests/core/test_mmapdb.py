@@ -87,7 +87,7 @@ class TestFileRoundTrip:
         writer.append((1, 2))
         writer.abort()
         assert list(tmp_path.iterdir()) == []
-        with pytest.raises(ValueError, match="finalized or aborted"):
+        with pytest.raises(ValueError, match="already aborted"):
             writer.append((3,))
 
     def test_writer_aborts_on_exception(self, tmp_path):
@@ -96,6 +96,60 @@ class TestFileRoundTrip:
             with PackedFileWriter(path) as writer:
                 writer.append((1, 2))
                 raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWriterHardening:
+    """The streaming writer's state machine and validation edges."""
+
+    def test_double_finalize_is_descriptive(self, tmp_path):
+        writer = PackedFileWriter(tmp_path / "db.packed")
+        writer.append((1, 2, 3))
+        writer.finalize()
+        with pytest.raises(ValueError, match="already finalized"):
+            writer.finalize()
+        with pytest.raises(ValueError, match="already finalized"):
+            writer.append((4,))
+
+    def test_abort_is_idempotent(self, tmp_path):
+        writer = PackedFileWriter(tmp_path / "db.packed")
+        writer.append((1,))
+        writer.abort()
+        writer.abort()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_abort_after_finalize_preserves_the_store(self, tmp_path):
+        """Belt-and-braces cleanup must never destroy finished data."""
+        path = tmp_path / "db.packed"
+        writer = PackedFileWriter(path)
+        writer.append((1, 2))
+        writer.finalize()
+        writer.abort()
+        assert path.exists()
+        with MmapPackedDB.attach(path) as db:
+            assert db.unpack() == [(1, 2)]
+
+    @pytest.mark.parametrize("bad_item", [-1, INT32_MAX + 1])
+    def test_append_rejects_out_of_range_items_like_pack(
+        self, tmp_path, bad_item
+    ):
+        """Streamed and in-memory packing fail with the same message."""
+        with pytest.raises(ValueError) as packed_exc:
+            PackedDB.pack([(0, bad_item)])
+        writer = PackedFileWriter(tmp_path / "db.packed")
+        try:
+            with pytest.raises(ValueError) as writer_exc:
+                writer.append((0, bad_item))
+        finally:
+            writer.abort()
+        assert str(writer_exc.value) == str(packed_exc.value)
+
+    def test_rejected_append_leaves_no_partial_file(self, tmp_path):
+        writer = PackedFileWriter(tmp_path / "db.packed")
+        writer.append((7,))
+        with pytest.raises(ValueError):
+            writer.append((-3,))
+        writer.abort()
         assert list(tmp_path.iterdir()) == []
 
 

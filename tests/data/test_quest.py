@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.data.quest import QuestConfig, QuestGenerator, generate
+from repro.core.mmapdb import (
+    MmapPackedDB,
+    PackedFileWriter,
+    write_packed_file,
+)
+from repro.data.quest import (
+    QuestConfig,
+    QuestGenerator,
+    generate,
+    generate_to_file,
+)
 
 
 class TestQuestConfig:
@@ -107,3 +117,61 @@ class TestGeneration:
         first = gen.generate()
         second = gen.generate()
         assert first != second
+
+
+class TestStreamingGeneration:
+    """`iter_transactions` / `generate_to_file` — the generate-to-disk
+    spine must replay `generate()` exactly, byte for byte."""
+
+    CONFIG = dict(num_transactions=300, num_items=50, seed=9)
+
+    def test_iter_matches_generate(self):
+        streamed = list(
+            QuestGenerator(QuestConfig(**self.CONFIG)).iter_transactions()
+        )
+        materialized = generate(QuestConfig(**self.CONFIG))
+        assert streamed == list(materialized)
+
+    def test_file_bytes_identical_to_in_memory_packing(self, tmp_path):
+        """Same seed => generate_to_file == write_packed_file(generate())."""
+        config = QuestConfig(**self.CONFIG)
+        streamed = generate_to_file(config, tmp_path / "streamed.packed")
+        in_memory = write_packed_file(
+            generate(QuestConfig(**self.CONFIG)).to_packed(),
+            tmp_path / "materialized.packed",
+        )
+        assert streamed.read_bytes() == in_memory.read_bytes()
+
+    @pytest.mark.parametrize("flush_items", [1, 7, 64, 1 << 16])
+    def test_byte_identity_across_flush_chunk_sizes(
+        self, tmp_path, flush_items
+    ):
+        """The writer's spill cadence must never leak into the bytes."""
+        config = QuestConfig(**self.CONFIG)
+        with PackedFileWriter(
+            tmp_path / "chunked.packed", flush_items=flush_items
+        ) as writer:
+            writer.extend(
+                QuestGenerator(config).iter_transactions()
+            )
+        reference = write_packed_file(
+            generate(QuestConfig(**self.CONFIG)).to_packed(),
+            tmp_path / "reference.packed",
+        )
+        assert writer.path.read_bytes() == reference.read_bytes()
+
+    def test_streamed_file_attaches_and_round_trips(self, tmp_path):
+        config = QuestConfig(**self.CONFIG)
+        path = generate_to_file(config, tmp_path / "db.packed")
+        with MmapPackedDB.attach(path) as db:
+            assert db.unpack() == list(generate(QuestConfig(**self.CONFIG)))
+
+    def test_progress_callback_cadence(self, tmp_path):
+        calls = []
+        generate_to_file(
+            QuestConfig(**self.CONFIG),
+            tmp_path / "db.packed",
+            progress=lambda written, total: calls.append((written, total)),
+            progress_every=100,
+        )
+        assert calls == [(100, 300), (200, 300), (300, 300), (300, 300)]

@@ -372,9 +372,10 @@ class TestStaleReplies:
         parent, child = Pipe()
         try:
             # Late answer to request 7, then the answer to request 8;
-            # ok-payloads carry (vector, build_s, intersect_s, attach_s).
-            child.send(("ok", 7, ([1, 2, 3], 0.0, 0.0, 0.0)))
-            child.send(("ok", 8, ([4, 5, 6], 0.0, 0.0, 0.0)))
+            # ok-payloads carry (vector, build_s, intersect_s,
+            # attach_s, peak_rss_bytes).
+            child.send(("ok", 7, ([1, 2, 3], 0.0, 0.0, 0.0, 0)))
+            child.send(("ok", 8, ([4, 5, 6], 0.0, 0.0, 0.0, 0)))
             vector, failure, _timings = pool._read_reply(
                 parent, 0, 2, 3, seq=8
             )

@@ -374,6 +374,152 @@ class TestGenerateCommand:
         assert exit_code == 0
 
 
+class TestScaleFlags:
+    """`generate --generate-to` / `mine --attach` / `--two-phase`."""
+
+    def test_generate_to_writes_attachable_store(self, tmp_path, capsys):
+        store = tmp_path / "db.packed"
+        exit_code = main(
+            ["generate", "--transactions", "250", "--items", "40",
+             "--seed", "5", "--generate-to", str(store),
+             "--progress-every", "100"]
+        )
+        assert exit_code == 0
+        assert store.exists()
+        out = capsys.readouterr().out
+        assert "generated 100/250 transactions" in out
+        assert "generated 250/250 transactions" in out
+        assert "wrote packed store" in out
+
+    def test_generate_without_destination_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["generate", "--transactions", "10"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--out" in err and "--generate-to" in err
+
+    def test_generate_both_destinations(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate", "--transactions", "40", "--items", "30",
+             "--out", str(tmp_path / "db.dat"),
+             "--generate-to", str(tmp_path / "db.packed")]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "db.dat").exists()
+        assert (tmp_path / "db.packed").exists()
+
+    def test_attach_mines_the_store(self, tmp_path, capsys):
+        store = tmp_path / "db.packed"
+        main(
+            ["generate", "--transactions", "200", "--items", "30",
+             "--seed", "6", "--generate-to", str(store)]
+        )
+        capsys.readouterr()
+        exit_code = main(
+            ["mine", "--attach", str(store), "--algorithm", "native-cd",
+             "--processors", "2", "--min-support", "0.1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "attached 200 transactions" in out
+        assert "(mmap data plane)" in out  # --attach defaults to mmap
+        assert "frequent item-sets" in out
+        # The attached store is the caller's file: still there.
+        assert store.exists()
+
+    def test_attach_with_two_phase(self, tmp_path, capsys):
+        store = tmp_path / "db.packed"
+        main(
+            ["generate", "--transactions", "200", "--items", "30",
+             "--seed", "6", "--generate-to", str(store)]
+        )
+        capsys.readouterr()
+        exit_code = main(
+            ["mine", "--attach", str(store), "--algorithm", "native-cd",
+             "--processors", "2", "--min-support", "0.1", "--two-phase"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "phase 1 complete" in out
+        assert "frequent item-sets" in out
+
+    def test_database_and_attach_are_mutually_exclusive(
+        self, dat_file, tmp_path, capsys
+    ):
+        for argv in (
+            ["mine"],
+            ["mine", str(dat_file), "--attach", str(tmp_path / "x.packed")],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "exactly one input" in capsys.readouterr().err
+
+    def test_attach_without_native_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", "--attach", str(tmp_path / "x.packed")])
+        assert excinfo.value.code == 2
+        assert "--attach requires a native algorithm" in (
+            capsys.readouterr().err
+        )
+
+    def test_attach_on_pickle_plane_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mine", "--attach", str(tmp_path / "x.packed"),
+                 "--algorithm", "native", "--data-plane", "pickle"]
+            )
+        assert excinfo.value.code == 2
+        assert "zero-copy data plane" in capsys.readouterr().err
+
+    def test_attach_missing_store_is_clean_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["mine", "--attach", str(tmp_path / "gone.packed"),
+             "--algorithm", "native-cd"]
+        )
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_two_phase_without_cd_is_usage_error(self, dat_file, capsys):
+        for argv in (
+            ["mine", str(dat_file), "--two-phase"],
+            ["mine", str(dat_file), "--algorithm", "native-idd",
+             "--two-phase"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            assert "--two-phase" in capsys.readouterr().err
+
+    def test_two_phase_on_pickle_plane_is_usage_error(
+        self, dat_file, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["mine", str(dat_file), "--algorithm", "native",
+                 "--data-plane", "pickle", "--two-phase"]
+            )
+        assert excinfo.value.code == 2
+        assert "zero-copy data plane" in capsys.readouterr().err
+
+    def test_two_phase_matches_single_phase(self, dat_file, capsys):
+        main(
+            ["mine", str(dat_file), "--min-support", "0.3",
+             "--algorithm", "native", "--processors", "2"]
+        )
+        single = capsys.readouterr().out
+        main(
+            ["mine", str(dat_file), "--min-support", "0.3",
+             "--algorithm", "native", "--processors", "2", "--two-phase"]
+        )
+        two = capsys.readouterr().out
+        pick = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if "frequent item-sets" in line or "count=" in line
+        ]
+        assert pick(single) == pick(two)
+
+
 class TestReportFlag:
     def test_serial_report(self, dat_file, capsys):
         exit_code = main(
