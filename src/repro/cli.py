@@ -9,6 +9,10 @@ Subcommands:
   file.
 * ``experiment`` — run one of the paper's table/figure reproductions
   and print its table.
+* ``serve`` — start the always-on rule-serving daemon (mine once,
+  answer basket queries forever, re-mine in the background).
+* ``query`` — talk to a running daemon: basket queries, stats,
+  re-mine triggers, shutdown.
 
 Examples::
 
@@ -16,6 +20,15 @@ Examples::
     repro-mine mine db.dat --min-support 0.01 --min-confidence 0.8
     repro-mine mine db.dat --algorithm HD --processors 16
     repro-mine experiment table2
+
+Serving rules (mine → serve → query → live re-mine)::
+
+    repro-mine serve db.dat --min-support 0.01 --min-confidence 0.6 \\
+        --port 7911 &
+    repro-mine query --port 7911 3 17 42        # basket -> suggestions
+    repro-mine query --port 7911 --remine --wait  # atomic model swap
+    repro-mine query --port 7911 --stats          # QPS, p50/p99, generation
+    repro-mine query --port 7911 --shutdown
 
 Scaling to millions of transactions (generate once, mine many times)::
 
@@ -298,6 +311,144 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = sub.add_parser(
+        "serve", help="start the always-on rule-serving daemon"
+    )
+    serve.add_argument(
+        "database",
+        nargs="?",
+        default=None,
+        help=(
+            "path to a .dat transaction file to mine and serve (omit "
+            "when serving a packed store via --attach or a checkpoint "
+            "journal via --from-journal)"
+        ),
+    )
+    serve.add_argument(
+        "--attach",
+        default=None,
+        metavar="STORE",
+        help=(
+            "serve a packed store file: every (re-)mine attaches it "
+            "read-only and runs the native pool against it on the mmap "
+            "plane"
+        ),
+    )
+    serve.add_argument(
+        "--from-journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve the result recorded in a checkpoint journal "
+            "(written by 'mine --checkpoint-dir') without mining at all"
+        ),
+    )
+    serve.add_argument("--min-support", type=float, default=0.01)
+    serve.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.5,
+        help="rule-derivation threshold for every model generation",
+    )
+    serve.add_argument("--max-k", type=int, default=None)
+    serve.add_argument(
+        "--kernel",
+        type=_kernel_arg,
+        default=None,
+        metavar="{reference,fast,fast-np,vertical}",
+        help="counting kernel for the (re-)mines",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=("native-cd", "native-idd", "native-hd", "native"),
+        default="native-cd",
+        help=(
+            "with --attach: the native formulation each re-mine runs "
+            "(default native-cd)"
+        ),
+    )
+    serve.add_argument(
+        "--processors",
+        type=_positive_int,
+        default=2,
+        help="with --attach: worker processes per re-mine",
+    )
+    serve.add_argument(
+        "--two-phase",
+        action="store_true",
+        help="with --attach: SON two-phase counting for the re-mines",
+    )
+    serve.add_argument(
+        "--block-budget",
+        type=_positive_int,
+        default=None,
+        metavar="ITEMS",
+        help="with --attach: stream counting passes in blocks",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7911,
+        help="listen port (0 binds an ephemeral port; it is printed)",
+    )
+    serve.add_argument(
+        "--remine-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "re-mine the source and swap the model in atomically every "
+            "SECONDS seconds (omit to re-mine only on 'query --remine')"
+        ),
+    )
+
+    query = sub.add_parser(
+        "query", help="query a running rule-serving daemon"
+    )
+    query.add_argument(
+        "basket",
+        nargs="*",
+        type=int,
+        help="basket items to get suggestions for",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7911)
+    query.add_argument(
+        "--top", type=_positive_int, default=10, help="suggestions to print"
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's stats snapshot instead of querying",
+    )
+    query.add_argument(
+        "--remine",
+        action="store_true",
+        help="trigger a background re-mine (atomic model swap)",
+    )
+    query.add_argument(
+        "--wait",
+        action="store_true",
+        help="with --remine: block until the swap (or failure) happened",
+    )
+    query.add_argument(
+        "--ping",
+        action="store_true",
+        help="round-trip a ping and print the model generation",
+    )
+    query.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the daemon to exit cleanly",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout in seconds",
+    )
+
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument(
@@ -402,6 +553,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "file, streamed with constant RAM)"
             )
         return _cmd_generate(args)
+    if args.command == "serve":
+        inputs = [args.database, args.attach, args.from_journal]
+        if sum(value is not None for value in inputs) != 1:
+            parser.error(
+                "exactly one model source is required: a .dat database "
+                "path, --attach STORE, or --from-journal DIR"
+            )
+        if not 0.0 < args.min_confidence <= 1.0:
+            parser.error(
+                f"--min-confidence must be in (0, 1], got "
+                f"{args.min_confidence}"
+            )
+        if args.remine_every is not None and args.remine_every <= 0:
+            parser.error("--remine-every must be positive")
+        if args.attach is None and (
+            args.two_phase or args.block_budget is not None
+        ):
+            parser.error(
+                "--two-phase and --block-budget only apply with "
+                "--attach (they configure the native re-mines)"
+            )
+        return _cmd_serve(args)
+    if args.command == "query":
+        actions = sum(
+            (
+                bool(args.basket),
+                args.stats,
+                args.remine,
+                args.ping,
+                args.shutdown,
+            )
+        )
+        if actions != 1:
+            parser.error(
+                "exactly one action is required: basket items to query, "
+                "--stats, --remine, --ping, or --shutdown"
+            )
+        if args.wait and not args.remine:
+            parser.error("--wait only applies with --remine")
+        return _cmd_query(args)
     return _cmd_experiment(args)
 
 
@@ -574,6 +765,138 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"({stats.num_items} distinct items, avg length "
         f"{stats.avg_length:.1f}) to {args.out}"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .serve import DatFileSource, JournalSource, RuleServer, StoreSource
+
+    if args.attach is not None:
+        source = StoreSource(
+            args.attach,
+            args.min_support,
+            processors=args.processors,
+            algorithm=args.algorithm,
+            max_k=args.max_k,
+            kernel=args.kernel,
+            two_phase=args.two_phase,
+            block_budget=args.block_budget,
+        )
+    elif args.from_journal is not None:
+        source = JournalSource(args.from_journal)
+    else:
+        source = DatFileSource(
+            args.database,
+            args.min_support,
+            max_k=args.max_k,
+            kernel=args.kernel,
+        )
+    server = RuleServer(
+        source,
+        min_confidence=args.min_confidence,
+        host=args.host,
+        port=args.port,
+        remine_every=args.remine_every,
+    )
+    try:
+        server.start()
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _terminate(signum, frame) -> None:
+        # SIGTERM/SIGINT: unblock the wait loop; the finally below does
+        # the orderly stop (drain listener, join the re-mine worker).
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    host, port = server.address
+    print(
+        f"serving rules on {host}:{port} "
+        f"(generation {server.index.generation}, "
+        f"{server.index.num_rules} rules from {source.describe()}; "
+        f"min_confidence={args.min_confidence})",
+        flush=True,
+    )
+    try:
+        server.wait_for_shutdown_request()
+    finally:
+        server.stop()
+        snapshot = server.stats.snapshot()
+        print(
+            f"shut down cleanly after {snapshot['queries']} queries "
+            f"({snapshot['failed_queries']} failed), "
+            f"generation {server.index.generation}",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import RuleClient, ServerError
+
+    client = RuleClient(args.host, args.port, timeout=args.timeout)
+    try:
+        with client:
+            if args.ping:
+                generation = client.ping()
+                print(f"ok (generation {generation})")
+            elif args.stats:
+                stats = client.stats()
+                print(f"generation:         {stats.generation}")
+                print(f"model:              {stats.model}")
+                print(f"uptime_seconds:     {stats.uptime_seconds:.1f}")
+                print(f"queries:            {stats.queries}")
+                print(f"failed_queries:     {stats.failed_queries}")
+                print(f"query_p50_ms:       {stats.query_p50_ms:.3f}")
+                print(f"query_p99_ms:       {stats.query_p99_ms:.3f}")
+                print(f"remines:            {stats.remines}")
+                print(f"remine_failures:    {stats.remine_failures}")
+                print(f"remine_in_progress: {stats.remine_in_progress}")
+                print(f"last_remine_error:  {stats.last_remine_error}")
+            elif args.remine:
+                reply = client.remine(wait=args.wait)
+                if reply.get("status") == "busy":
+                    print("re-mine already in progress")
+                elif reply.get("last_remine_error") and args.wait:
+                    print(
+                        f"re-mine failed (still serving generation "
+                        f"{reply['generation']}): "
+                        f"{reply['last_remine_error']}"
+                    )
+                else:
+                    print(
+                        f"re-mine {'done' if args.wait else 'started'} "
+                        f"(generation {reply['generation']})"
+                    )
+            elif args.shutdown:
+                generation = client.shutdown()
+                print(f"daemon shut down (generation {generation})")
+            else:
+                reply = client.query(args.basket, top=args.top)
+                print(
+                    f"generation {reply.generation}: "
+                    f"{len(reply.suggestions)} suggestion(s) for basket "
+                    f"{reply.basket}"
+                )
+                for s in reply.suggestions:
+                    print(
+                        f"  {s.item}  confidence={s.confidence:.3f} "
+                        f"support={s.support:.3f} "
+                        f"via {{{', '.join(map(str, s.antecedent))}}}"
+                    )
+    except ServerError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -16,7 +16,7 @@ the confidence bar then so does every rule whose consequent contains
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Mapping
+from typing import Dict, Iterator, List, Mapping
 
 from .apriori import AprioriResult
 from .candidates import generate_candidates
@@ -82,12 +82,23 @@ def generate_rules(
         raise ValueError("num_transactions must be positive")
 
     rules: List[AssociationRule] = []
+    # ap-genrules re-reads the same antecedent supports over and over:
+    # every item-set Z containing X looks up sigma(X) once per surviving
+    # consequent.  One memo shared across the whole derivation turns the
+    # repeated mapping lookups (which may be backed by something costlier
+    # than a dict — a proxy, a disk-backed table) into single fetches.
+    support_memo: Dict[Itemset, int] = {}
     for itemset, joint_count in frequent.items():
         if len(itemset) < 2:
             continue
         rules.extend(
             _rules_for_itemset(
-                itemset, joint_count, frequent, num_transactions, min_confidence
+                itemset,
+                joint_count,
+                frequent,
+                num_transactions,
+                min_confidence,
+                support_memo,
             )
         )
     rules.sort(
@@ -102,13 +113,26 @@ def _rules_for_itemset(
     frequent: Mapping[Itemset, int],
     num_transactions: int,
     min_confidence: float,
+    support_memo: Dict[Itemset, int] | None = None,
 ) -> Iterator[AssociationRule]:
-    """ap-genrules for one frequent item-set Z of size >= 2."""
+    """ap-genrules for one frequent item-set Z of size >= 2.
+
+    ``support_memo`` lets a caller share antecedent-support fetches
+    across item-sets (see :func:`generate_rules`); omitted, each
+    item-set memoizes only its own lookups.
+    """
+    if support_memo is None:
+        support_memo = {}
     support = joint_count / num_transactions
 
     def make_rule(consequent: Itemset) -> AssociationRule | None:
-        antecedent = tuple(i for i in itemset if i not in set(consequent))
-        confidence = joint_count / frequent[antecedent]
+        consequent_items = frozenset(consequent)
+        antecedent = tuple(i for i in itemset if i not in consequent_items)
+        antecedent_count = support_memo.get(antecedent)
+        if antecedent_count is None:
+            antecedent_count = frequent[antecedent]
+            support_memo[antecedent] = antecedent_count
+        confidence = joint_count / antecedent_count
         if confidence + 1e-12 < min_confidence:
             return None
         return AssociationRule(

@@ -110,6 +110,10 @@ def generate_rules_parallel(
         itemsets_per_processor.append(len(assigned))
         derived: List[AssociationRule] = []
         examined = 0
+        # One antecedent-support memo per processor: each processor
+        # holds the full table locally, so sharing fetches across its
+        # assigned item-sets is free (no cross-processor state).
+        support_memo: Dict[Itemset, int] = {}
         for itemset in assigned:
             examined += weights[itemset]
             derived.extend(
@@ -119,6 +123,7 @@ def generate_rules_parallel(
                     frequent,
                     num_transactions,
                     min_confidence,
+                    support_memo,
                 )
             )
         # Each consequent examined costs one table lookup + one divide;

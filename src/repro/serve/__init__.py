@@ -1,0 +1,46 @@
+"""Always-on rule serving: mine once, serve millions.
+
+The serving layer turns a mined :class:`~repro.core.apriori.
+AprioriResult` into a long-lived daemon answering "basket → suggested
+items" queries:
+
+* :mod:`repro.serve.model` — the immutable, prefix-indexed
+  antecedent → consequents structure a query reads.
+* :mod:`repro.serve.sources` — where fresh models come from (a
+  ``.dat`` file, an attached packed store mined by the native pool, a
+  streaming source, a checkpoint journal).
+* :mod:`repro.serve.server` — the threaded listener with atomic
+  generation-swapped background re-mining.
+* :mod:`repro.serve.client` — the typed line-JSON client.
+
+CLI: ``repro-mine serve`` starts the daemon, ``repro-mine query`` talks
+to it.
+"""
+
+from .client import QueryReply, RuleClient, ServerError, StatsReply
+from .model import RuleIndex, Suggestion
+from .server import RuleServer, ServerStats
+from .sources import (
+    CallableSource,
+    DatFileSource,
+    JournalSource,
+    ModelSource,
+    StoreSource,
+    StreamingSource,
+)
+
+__all__ = [
+    "CallableSource",
+    "DatFileSource",
+    "JournalSource",
+    "ModelSource",
+    "QueryReply",
+    "RuleClient",
+    "RuleIndex",
+    "RuleServer",
+    "ServerError",
+    "ServerStats",
+    "StoreSource",
+    "StreamingSource",
+    "Suggestion",
+]

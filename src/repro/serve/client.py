@@ -1,0 +1,210 @@
+"""Typed client for the rule-serving daemon.
+
+:class:`RuleClient` speaks the line-JSON protocol of
+:mod:`repro.serve.server` over one persistent TCP connection and maps
+replies onto typed results (:class:`QueryReply`, :class:`StatsReply`).
+
+Reconnect policy — deliberately minimal and testable: when a request
+fails because the connection dropped (server restarted, connection
+reset, stale keep-alive), the client reconnects and retries the request
+**exactly once**.  A second failure propagates to the caller; queries
+are idempotent reads, so one transparent retry is safe, while retry
+loops would mask a down server.  :attr:`last_retries` reports how many
+retries the most recent request used (0 or 1), which the concurrency
+tests assert on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .model import Suggestion
+
+__all__ = ["QueryReply", "RuleClient", "ServerError", "StatsReply"]
+
+
+class ServerError(RuntimeError):
+    """The daemon answered with ``status: error`` (or ``busy``)."""
+
+
+@dataclass(frozen=True)
+class QueryReply:
+    """One basket query's answer.
+
+    Attributes:
+        generation: model generation that answered (all suggestions in
+            one reply come from this single snapshot).
+        basket: the canonicalized basket echoed back.
+        suggestions: recommended items, best rule first.
+    """
+
+    generation: int
+    basket: list[int]
+    suggestions: list[Suggestion] = field(default_factory=list)
+
+    @property
+    def items(self) -> list[int]:
+        """Just the suggested item ids, in rank order."""
+        return [s.item for s in self.suggestions]
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """The daemon's observability snapshot."""
+
+    generation: int
+    queries: int
+    failed_queries: int
+    query_p50_ms: float
+    query_p99_ms: float
+    remines: int
+    remine_failures: int
+    last_remine_error: str | None
+    remine_in_progress: bool
+    uptime_seconds: float
+    model: dict[str, Any]
+
+
+class RuleClient:
+    """Line-JSON client over one persistent, lazily opened connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+        #: Retries used by the most recent request (0 or 1).
+        self.last_retries = 0
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        """Drop the connection (the next request reopens it)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> RuleClient:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _roundtrip_once(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._sock is None:
+            self._connect()
+        assert self._sock is not None and self._reader is not None
+        payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
+        self._sock.sendall(payload + b"\n")
+        line = self._reader.readline()
+        if not line:
+            # The server closed the connection without answering — the
+            # restart window; surface it as a reset so the retry fires.
+            raise ConnectionResetError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; reconnect and retry exactly once on reset."""
+        self.last_retries = 0
+        try:
+            return self._roundtrip_once(request)
+        except OSError:
+            # Covers connection reset/refused, broken pipe, timeouts —
+            # every way a bounced daemon can drop the connection.
+            self.close()
+        self.last_retries = 1
+        try:
+            self._connect()
+            return self._roundtrip_once(request)
+        except OSError:
+            self.close()
+            raise
+
+    def _checked(self, request: dict[str, Any]) -> dict[str, Any]:
+        reply = self.request(request)
+        if reply.get("status") != "ok":
+            raise ServerError(
+                reply.get("error") or f"server replied {reply.get('status')!r}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    def ping(self) -> int:
+        """Round-trip a ping; returns the serving model generation."""
+        return int(self._checked({"op": "ping"})["generation"])
+
+    def query(
+        self, basket: Sequence[int], top: int | None = None
+    ) -> QueryReply:
+        """Ask for suggestions for ``basket``."""
+        request: dict[str, Any] = {"op": "query", "basket": list(basket)}
+        if top is not None:
+            request["top"] = top
+        reply = self._checked(request)
+        return QueryReply(
+            generation=int(reply["generation"]),
+            basket=list(reply["basket"]),
+            suggestions=[
+                Suggestion.from_dict(s) for s in reply["suggestions"]
+            ],
+        )
+
+    def stats(self) -> StatsReply:
+        """Fetch the daemon's stats snapshot."""
+        reply = self._checked({"op": "stats"})
+        return StatsReply(
+            generation=int(reply["generation"]),
+            queries=int(reply["queries"]),
+            failed_queries=int(reply["failed_queries"]),
+            query_p50_ms=float(reply["query_p50_ms"]),
+            query_p99_ms=float(reply["query_p99_ms"]),
+            remines=int(reply["remines"]),
+            remine_failures=int(reply["remine_failures"]),
+            last_remine_error=reply.get("last_remine_error"),
+            remine_in_progress=bool(reply.get("remine_in_progress", False)),
+            uptime_seconds=float(reply["uptime_seconds"]),
+            model=dict(reply.get("model", {})),
+        )
+
+    def remine(self, wait: bool = False) -> dict[str, Any]:
+        """Trigger a background re-mine (``wait=True`` blocks for it).
+
+        Returns the raw reply; ``status`` is ``"busy"`` when a re-mine
+        was already running and ``wait`` was false.
+        """
+        return self.request({"op": "remine", "wait": wait})
+
+    def shutdown(self) -> int:
+        """Ask the daemon to exit; returns its final generation."""
+        reply = self._checked({"op": "shutdown"})
+        self.close()
+        return int(reply["generation"])

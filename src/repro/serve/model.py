@@ -1,0 +1,226 @@
+"""In-memory rule model: the serving daemon's read path.
+
+A :class:`RuleIndex` is an immutable snapshot of the rules derived from
+one mined :class:`~repro.core.apriori.AprioriResult`, organized for the
+one query the daemon answers at traffic rates: *given a basket, which
+items do the rules suggest?*
+
+The index is keyed by rule antecedent (a canonical sorted item-set) and
+carries a **prefix set** — every proper prefix of every antecedent.  A
+basket query then runs a depth-first *subset enumeration over the
+index*: starting from the empty prefix, it extends only with basket
+items that keep the prefix inside the index's prefix set, touching the
+rule table exactly at the antecedents that are subsets of the basket.
+A basket of b items over an index of R rules costs O(matched prefixes)
+instead of the O(R · b) scan of checking every rule's antecedent
+against the basket — the same sorted-item-set trick the paper's hash
+tree uses for the subset operation, applied to serving.
+
+Indexes are immutable after construction and tagged with a
+``generation`` number, so the server can swap a freshly re-mined index
+in atomically (one attribute assignment) while in-flight queries keep
+reading the snapshot they started with — no locks on the query path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from ..core.apriori import AprioriResult
+from ..core.items import Itemset
+from ..core.rules import AssociationRule, generate_rules
+
+__all__ = ["RuleIndex", "Suggestion"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One recommended item for a basket.
+
+    Attributes:
+        item: the suggested item (never already in the basket).
+        confidence: confidence of the best rule suggesting it.
+        support: support of that rule.
+        antecedent: that rule's antecedent (a subset of the basket).
+    """
+
+    item: int
+    confidence: float
+    support: float
+    antecedent: Itemset
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "item": self.item,
+            "confidence": self.confidence,
+            "support": self.support,
+            "antecedent": list(self.antecedent),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> Suggestion:
+        return cls(
+            item=int(payload["item"]),
+            confidence=float(payload["confidence"]),
+            support=float(payload["support"]),
+            antecedent=tuple(payload["antecedent"]),
+        )
+
+
+class RuleIndex:
+    """Immutable antecedent-indexed rule model with prefix enumeration.
+
+    Args:
+        rules: association rules (as produced by
+            :func:`~repro.core.rules.generate_rules`).
+        generation: monotonically increasing model version; the server
+            bumps it on every successful re-mine.
+        min_confidence: threshold the rules were derived at (stats
+            surface it).
+        source: human-readable description of where the model came from.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AssociationRule],
+        generation: int = 1,
+        min_confidence: float = 0.0,
+        source: str = "",
+    ):
+        self.generation = generation
+        self.min_confidence = min_confidence
+        self.source = source
+        self.built_at = time.time()
+        self.num_rules = len(rules)
+
+        by_antecedent: dict[Itemset, list[AssociationRule]] = {}
+        for rule in rules:
+            by_antecedent.setdefault(rule.antecedent, []).append(rule)
+        # Rules per antecedent in best-first order, so enumeration can
+        # take the first rule suggesting an item as the best one.
+        for bucket in by_antecedent.values():
+            bucket.sort(key=lambda r: (-r.confidence, -r.support, r.consequent))
+        self._by_antecedent = by_antecedent
+
+        prefixes: set = set()
+        for antecedent in by_antecedent:
+            for end in range(1, len(antecedent) + 1):
+                prefixes.add(antecedent[:end])
+        self._prefixes: frozenset[Itemset] = frozenset(prefixes)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_result(
+        cls,
+        result: AprioriResult,
+        min_confidence: float,
+        generation: int = 1,
+        source: str = "",
+    ) -> RuleIndex:
+        """Derive rules from a mined result and index them.
+
+        A result holding only singleton item-sets (or nothing) yields a
+        valid, empty index — queries answer ``[]``, they don't raise.
+        """
+        rules = generate_rules(
+            result.frequent, result.num_transactions, min_confidence
+        )
+        return cls(
+            rules,
+            generation=generation,
+            min_confidence=min_confidence,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def matching_rules(
+        self, basket: Sequence[int]
+    ) -> Iterator[AssociationRule]:
+        """Yield every rule whose antecedent is a subset of ``basket``.
+
+        The enumeration walks sorted basket items depth-first, extending
+        a prefix only while it stays inside the index's prefix set — the
+        subset test never touches antecedents outside the basket's
+        closure.
+        """
+        items = sorted(set(basket))
+        stack: list[tuple[Itemset, int]] = [((), 0)]
+        while stack:
+            prefix, start = stack.pop()
+            for i in range(start, len(items)):
+                extended = prefix + (items[i],)
+                if extended not in self._prefixes:
+                    continue
+                bucket = self._by_antecedent.get(extended)
+                if bucket is not None:
+                    yield from bucket
+                stack.append((extended, i + 1))
+
+    def query(
+        self, basket: Sequence[int], top: int | None = None
+    ) -> list[Suggestion]:
+        """Suggest items for ``basket``, best rule first.
+
+        Items already in the basket are never suggested; an item reachable
+        through several rules is suggested once, via its most confident
+        (then highest-support) rule.  ``top`` caps the list.
+        """
+        in_basket = set(basket)
+        best: dict[int, AssociationRule] = {}
+        for rule in self.matching_rules(basket):
+            for item in rule.consequent:
+                if item in in_basket:
+                    continue
+                held = best.get(item)
+                if held is None or (
+                    (-rule.confidence, -rule.support)
+                    < (-held.confidence, -held.support)
+                ):
+                    best[item] = rule
+        ranked = sorted(
+            (
+                Suggestion(
+                    item=item,
+                    confidence=rule.confidence,
+                    support=rule.support,
+                    antecedent=rule.antecedent,
+                )
+                for item, rule in best.items()
+            ),
+            key=lambda s: (-s.confidence, -s.support, s.item),
+        )
+        if top is not None:
+            ranked = ranked[:top]
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since this index was built."""
+        return max(0.0, time.time() - self.built_at)
+
+    def describe(self) -> dict[str, object]:
+        """The stats-endpoint view of this model snapshot."""
+        return {
+            "generation": self.generation,
+            "num_rules": self.num_rules,
+            "num_antecedents": len(self._by_antecedent),
+            "min_confidence": self.min_confidence,
+            "built_at": self.built_at,
+            "age_seconds": self.age_seconds,
+            "source": self.source,
+        }
+
+    def __len__(self) -> int:
+        return self.num_rules

@@ -140,3 +140,60 @@ class TestRulesProperties:
             assert 0 < rule.confidence <= 1
             # confidence >= support always (sigma(X) <= |T|).
             assert rule.confidence >= rule.support - 1e-12
+
+
+class TestSingletonOnlyResults:
+    def test_result_with_only_singletons_yields_no_rules(self):
+        """A mine whose threshold leaves only single items must derive
+        [] — the serving daemon's re-mine path hits this whenever drift
+        pushes every pair below support."""
+        from repro.core.apriori import AprioriResult
+
+        result = AprioriResult(
+            frequent={(1,): 9, (7,): 8, (42,): 5},
+            min_support=0.5,
+            min_count=5,
+            num_transactions=10,
+        )
+        assert rules_from_result(result, 0.1) == []
+        assert rules_from_result(result, 1.0) == []
+
+    def test_empty_result_yields_no_rules(self):
+        from repro.core.apriori import AprioriResult
+
+        result = AprioriResult(
+            frequent={}, min_support=0.5, min_count=5, num_transactions=10
+        )
+        assert rules_from_result(result, 0.5) == []
+
+
+class _CountingTable(dict):
+    """A frequent table that counts per-key __getitem__ fetches."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fetches = {}
+
+    def __getitem__(self, key):
+        self.fetches[key] = self.fetches.get(key, 0) + 1
+        return super().__getitem__(key)
+
+
+class TestSupportMemoization:
+    def test_each_antecedent_support_fetched_at_most_once(self, supermarket_db):
+        result = Apriori(0.2).mine(supermarket_db)
+        table = _CountingTable(result.frequent)
+        generate_rules(table, result.num_transactions, 0.1)
+        repeated = {k: n for k, n in table.fetches.items() if n > 1}
+        assert repeated == {}, (
+            "ap-genrules must memoize support lookups: these antecedents "
+            f"were fetched more than once: {repeated}"
+        )
+
+    def test_memoized_rules_identical_to_plain_dict(self, supermarket_db):
+        result = Apriori(0.2).mine(supermarket_db)
+        plain = generate_rules(result.frequent, result.num_transactions, 0.3)
+        counted = generate_rules(
+            _CountingTable(result.frequent), result.num_transactions, 0.3
+        )
+        assert plain == counted

@@ -1,0 +1,153 @@
+"""RuleIndex: the antecedent-indexed, prefix-enumerated rule model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apriori import Apriori, AprioriResult
+from repro.core.rules import generate_rules, rules_from_result
+from repro.serve.model import RuleIndex, Suggestion
+
+
+def mined(db, min_support=0.2):
+    return Apriori(min_support).mine(db)
+
+
+def brute_force_matches(rules, basket):
+    basket = set(basket)
+    return sorted(
+        (r for r in rules if set(r.antecedent) <= basket),
+        key=lambda r: (r.antecedent, r.consequent),
+    )
+
+
+class TestIndexConstruction:
+    def test_from_result_counts_rules(self, supermarket_db):
+        result = mined(supermarket_db)
+        rules = rules_from_result(result, 0.5)
+        index = RuleIndex.from_result(result, 0.5)
+        assert index.num_rules == len(rules) == len(index)
+
+    def test_generation_and_metadata(self, supermarket_db):
+        result = mined(supermarket_db)
+        index = RuleIndex.from_result(
+            result, 0.5, generation=7, source="unit-test"
+        )
+        description = index.describe()
+        assert description["generation"] == 7
+        assert description["source"] == "unit-test"
+        assert description["num_rules"] == index.num_rules
+        assert description["min_confidence"] == 0.5
+        assert description["age_seconds"] >= 0.0
+
+    def test_singleton_only_result_builds_empty_index(self):
+        # The edge the re-mine path must survive: a support threshold so
+        # high only single items are frequent — no rules, not a crash.
+        result = AprioriResult(
+            frequent={(1,): 9, (2,): 8},
+            min_support=0.5,
+            min_count=5,
+            num_transactions=10,
+        )
+        index = RuleIndex.from_result(result, 0.5)
+        assert index.num_rules == 0
+        assert index.query([1, 2]) == []
+
+    def test_empty_result_builds_empty_index(self):
+        result = AprioriResult(
+            frequent={}, min_support=0.9, min_count=9, num_transactions=10
+        )
+        index = RuleIndex.from_result(result, 0.9)
+        assert index.query([1, 2, 3]) == []
+
+
+class TestSubsetEnumeration:
+    def test_matching_rules_equals_brute_force(self, medium_quest_db):
+        result = mined(medium_quest_db, min_support=0.05)
+        rules = rules_from_result(result, 0.3)
+        index = RuleIndex(rules)
+        for transaction in list(medium_quest_db)[:40]:
+            via_index = sorted(
+                index.matching_rules(transaction),
+                key=lambda r: (r.antecedent, r.consequent),
+            )
+            assert via_index == brute_force_matches(rules, transaction)
+
+    def test_unsorted_and_duplicated_basket_items(self, supermarket_db):
+        result = mined(supermarket_db)
+        index = RuleIndex.from_result(result, 0.5)
+        basket = list(supermarket_db)[0]
+        shuffled = list(basket)[::-1] + [basket[0]]
+        assert index.query(shuffled) == index.query(basket)
+
+    def test_empty_basket_matches_nothing(self, supermarket_db):
+        index = RuleIndex.from_result(mined(supermarket_db), 0.5)
+        assert list(index.matching_rules([])) == []
+        assert index.query([]) == []
+
+    def test_unknown_items_match_nothing(self, supermarket_db):
+        index = RuleIndex.from_result(mined(supermarket_db), 0.5)
+        assert index.query([999_999, 888_888]) == []
+
+
+class TestQueryRanking:
+    def test_never_suggests_basket_items(self, medium_quest_db):
+        result = mined(medium_quest_db, min_support=0.05)
+        index = RuleIndex.from_result(result, 0.3)
+        for transaction in list(medium_quest_db)[:40]:
+            for suggestion in index.query(transaction):
+                assert suggestion.item not in set(transaction)
+
+    def test_each_item_suggested_once_via_best_rule(self, medium_quest_db):
+        result = mined(medium_quest_db, min_support=0.05)
+        rules = rules_from_result(result, 0.3)
+        index = RuleIndex(rules)
+        for transaction in list(medium_quest_db)[:40]:
+            suggestions = index.query(transaction)
+            items = [s.item for s in suggestions]
+            assert len(items) == len(set(items))
+            # Each suggestion's confidence is the max over matching
+            # rules whose consequent contains that item.
+            matches = brute_force_matches(rules, transaction)
+            for suggestion in suggestions:
+                best = max(
+                    r.confidence
+                    for r in matches
+                    if suggestion.item in r.consequent
+                )
+                assert suggestion.confidence == pytest.approx(best)
+
+    def test_ranked_by_confidence_then_support(self, medium_quest_db):
+        result = mined(medium_quest_db, min_support=0.05)
+        index = RuleIndex.from_result(result, 0.3)
+        for transaction in list(medium_quest_db)[:40]:
+            suggestions = index.query(transaction)
+            keys = [(-s.confidence, -s.support, s.item) for s in suggestions]
+            assert keys == sorted(keys)
+
+    def test_top_caps_suggestions(self, medium_quest_db):
+        result = mined(medium_quest_db, min_support=0.05)
+        index = RuleIndex.from_result(result, 0.3)
+        basket = max(medium_quest_db, key=len)
+        full = index.query(basket)
+        if len(full) < 2:
+            pytest.skip("basket too weak to exercise top-n")
+        assert index.query(basket, top=1) == full[:1]
+        assert index.query(basket, top=len(full) + 5) == full
+
+
+class TestSuggestionCodec:
+    def test_round_trips_through_dict(self, supermarket_db):
+        index = RuleIndex.from_result(mined(supermarket_db), 0.5)
+        basket = list(supermarket_db)[0]
+        for suggestion in index.query(basket):
+            assert Suggestion.from_dict(suggestion.to_dict()) == suggestion
+
+
+class TestDirectRuleConstruction:
+    def test_index_from_generated_rules(self, supermarket_db):
+        result = mined(supermarket_db)
+        rules = generate_rules(result.frequent, result.num_transactions, 0.5)
+        index = RuleIndex(rules, generation=3)
+        assert index.generation == 3
+        assert index.num_rules == len(rules)

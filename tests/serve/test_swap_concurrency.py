@@ -1,0 +1,170 @@
+"""Concurrency drills: atomic model swap + client restart retry.
+
+The swap contract: a query that started under generation g answers
+entirely from generation g's rules — never a mix of two generations —
+and no query fails *because* a swap happened.  The drills here encode
+the generation into the model's content (generation g's only rule is
+``(1,) => (MARKER_BASE + g,)``), hammer the server from N threads while
+swaps run in a loop, and assert every reply's suggested item matches
+the generation the reply claims.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+import pytest
+
+from repro.core.apriori import AprioriResult
+from repro.serve import CallableSource, RuleClient, RuleServer
+from repro.serve.model import RuleIndex
+
+MARKER_BASE = 1000
+
+
+def generation_result(g: int) -> AprioriResult:
+    """A mined result whose rules identify generation ``g``.
+
+    10 transactions all containing {1, MARKER_BASE+g} make the rule
+    ``(1,) => (MARKER_BASE+g,)`` hold at confidence 1.0.
+    """
+    marker = MARKER_BASE + g
+    return AprioriResult(
+        frequent={(1,): 10, (marker,): 10, (1, marker): 10},
+        min_support=0.5,
+        min_count=5,
+        num_transactions=10,
+    )
+
+
+class CountingSource(CallableSource):
+    """Model source whose g-th mine yields generation_result(g+1)."""
+
+    def __init__(self):
+        self.mines = 0
+        super().__init__(self._mine, "counting")
+
+    def _mine(self) -> AprioriResult:
+        self.mines += 1
+        return generation_result(self.mines)
+
+
+class TestAtomicIndexSwap:
+    def test_index_snapshot_is_internally_consistent(self):
+        """Direct hammer on the RuleIndex reference swap (no sockets)."""
+        holder = RuleServer(CountingSource(), min_confidence=0.5, port=0)
+        holder._index = RuleIndex.from_result(
+            generation_result(1), 0.5, generation=1
+        )
+        stop = threading.Event()
+        torn: List[str] = []
+
+        def reader():
+            while not stop.is_set():
+                index = holder.index  # one atomic read, as the handler does
+                suggestions = index.query([1])
+                if len(suggestions) != 1 or (
+                    suggestions[0].item != MARKER_BASE + index.generation
+                ):
+                    torn.append(
+                        f"generation {index.generation} suggested "
+                        f"{[s.item for s in suggestions]}"
+                    )
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in readers:
+            thread.start()
+        for g in range(2, 60):
+            holder._index = RuleIndex.from_result(
+                generation_result(g), 0.5, generation=g
+            )
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10.0)
+        assert torn == []
+
+    def test_no_torn_or_failed_query_through_the_server(self):
+        """N client threads hammer while re-mines swap in a loop."""
+        source = CountingSource()
+        swaps = 12
+        with RuleServer(source, min_confidence=0.5, port=0) as server:
+            host, port = server.address
+            stop = threading.Event()
+            problems: List[str] = []
+            observed: set = set()
+
+            def hammer():
+                with RuleClient(host, port, timeout=10.0) as client:
+                    while not stop.is_set():
+                        reply = client.query([1])
+                        observed.add(reply.generation)
+                        items = reply.items
+                        if items != [MARKER_BASE + reply.generation]:
+                            problems.append(
+                                f"generation {reply.generation} "
+                                f"answered {items}"
+                            )
+                            return
+
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            with RuleClient(host, port, timeout=10.0) as control:
+                for _ in range(swaps):
+                    reply = control.remine(wait=True)
+                    assert reply["status"] == "ok"
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert problems == []
+            assert len(observed) > 1, "hammer never saw a swap land"
+            with RuleClient(host, port, timeout=10.0) as control:
+                stats = control.stats()
+            # Zero dropped queries across every swap.
+            assert stats.failed_queries == 0
+            assert stats.remine_failures == 0
+            assert stats.generation == 1 + swaps
+
+
+class TestClientRestartRetry:
+    def test_retries_exactly_once_on_server_restart(self):
+        """A bounced server costs the client one transparent retry."""
+        source = CountingSource()
+        server = RuleServer(source, min_confidence=0.5, port=0).start()
+        host, port = server.address
+        client = RuleClient(host, port, timeout=5.0)
+        assert client.query([1]).generation == 1
+        assert client.last_retries == 0
+
+        server.stop()
+        # Same port, fresh daemon — the old connection is dead.
+        replacement = RuleServer(
+            CountingSource(), min_confidence=0.5, host=host, port=port
+        ).start()
+        try:
+            reply = client.query([1])
+            assert reply.generation == 1
+            assert client.last_retries == 1, (
+                "the reconnect must be a single transparent retry"
+            )
+            # And the retried connection is again persistent.
+            assert client.ping() == 1
+            assert client.last_retries == 0
+        finally:
+            client.close()
+            replacement.stop()
+
+    def test_second_failure_propagates(self):
+        """With the server gone for good, one retry then the error."""
+        source = CountingSource()
+        server = RuleServer(source, min_confidence=0.5, port=0).start()
+        host, port = server.address
+        client = RuleClient(host, port, timeout=2.0)
+        assert client.ping() == 1
+        server.stop()
+        with pytest.raises(OSError):
+            client.query([1])
+        assert client.last_retries == 1
+        client.close()

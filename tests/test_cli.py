@@ -562,3 +562,140 @@ class TestChartFlag:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "legend:" in out
+
+
+class TestServeAndQueryFlags:
+    """Usage guards for the serving daemon's CLI surface."""
+
+    def test_serve_defaults(self, dat_file):
+        args = build_parser().parse_args(["serve", str(dat_file)])
+        assert args.min_confidence == 0.5
+        assert args.port == 7911
+        assert args.remine_every is None
+        assert args.algorithm == "native-cd"
+
+    def test_serve_requires_exactly_one_input(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "exactly one model source" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(dat_file), "--attach", "x.packed"])
+        assert excinfo.value.code == 2
+        assert "exactly one model source" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_confidence(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(dat_file), "--min-confidence", "0"])
+        assert excinfo.value.code == 2
+        assert "--min-confidence" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_remine_every(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(dat_file), "--remine-every", "0"])
+        assert excinfo.value.code == 2
+        assert "--remine-every" in capsys.readouterr().err
+
+    def test_serve_two_phase_requires_attach(self, dat_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(dat_file), "--two-phase"])
+        assert excinfo.value.code == 2
+        assert "--attach" in capsys.readouterr().err
+
+    def test_query_requires_exactly_one_action(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query"])
+        assert excinfo.value.code == 2
+        assert "exactly one action" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--stats", "--ping"])
+        assert excinfo.value.code == 2
+        assert "exactly one action" in capsys.readouterr().err
+
+    def test_query_wait_requires_remine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "--stats", "--wait"])
+        assert excinfo.value.code == 2
+        assert "--remine" in capsys.readouterr().err
+
+    def test_query_unreachable_daemon_is_an_error(self, capsys):
+        # A port from the ephemeral range with nothing listening.
+        exit_code = main(
+            ["query", "--port", "1", "--timeout", "0.5", "--ping"]
+        )
+        assert exit_code == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+
+class TestServeEndToEnd:
+    """The daemon as a subprocess, driven by the in-process query CLI."""
+
+    @staticmethod
+    def _spawn_daemon(dat_file, *extra):
+        import os
+        import select
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(repo_src), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(dat_file),
+                "--min-support", "0.2", "--min-confidence", "0.4",
+                "--port", "0", *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        ready, _, _ = select.select([proc.stdout], [], [], 30.0)
+        assert ready, "daemon never printed its ready line"
+        line = proc.stdout.readline()
+        assert "serving rules on" in line, line
+        port = int(line.split("127.0.0.1:")[1].split()[0])
+        return proc, port
+
+    @pytest.mark.timeout(120)
+    def test_serve_query_remine_shutdown(self, dat_file, capsys):
+        proc, port = self._spawn_daemon(dat_file)
+        try:
+            exit_code = main(["query", "--port", str(port), "1"])
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            assert "generation 1" in out
+            assert main(["query", "--port", str(port), "--remine",
+                         "--wait"]) == 0
+            assert "generation 2" in capsys.readouterr().out
+            assert main(["query", "--port", str(port), "--stats"]) == 0
+            stats_out = capsys.readouterr().out
+            assert "failed_queries:     0" in stats_out
+            assert "generation:         2" in stats_out
+            assert main(["query", "--port", str(port), "--shutdown"]) == 0
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    @pytest.mark.timeout(120)
+    def test_sigterm_is_a_clean_exit(self, dat_file, capsys):
+        import signal
+
+        proc, port = self._spawn_daemon(dat_file)
+        try:
+            assert main(["query", "--port", str(port), "--ping"]) == 0
+            capsys.readouterr()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20) == 0
+            remaining = proc.stdout.read()
+            assert "shut down cleanly" in remaining
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
